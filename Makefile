@@ -1,0 +1,33 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test test-short bench repro cover fuzz clean
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+test-short:
+	go test -short ./...
+
+# Regenerate every table and figure of the paper (plus extensions).
+repro:
+	go run ./cmd/pelsbench
+
+bench:
+	go test -bench=. -benchmem ./...
+
+cover:
+	go test -cover ./internal/...
+
+fuzz:
+	go test -fuzz=FuzzDecoder -fuzztime=10s ./internal/fgs/
+
+clean:
+	go clean ./...

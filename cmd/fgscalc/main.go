@@ -1,0 +1,59 @@
+// Command fgscalc evaluates the paper's closed-form expressions without
+// running any simulation: the expected useful packets under Bernoulli loss
+// (Lemma 1 / eq. 2), best-effort and optimal utility (eq. 3), the PELS
+// utility bound (eq. 6), the γ fixed point, and the MKC equilibrium
+// (eq. 10).
+//
+// Example:
+//
+//	fgscalc -p 0.1 -H 100 -pthr 0.75 -flows 2 -capacity 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		p        = flag.Float64("p", 0.1, "network packet loss probability")
+		h        = flag.Int("H", 100, "FGS frame size in packets")
+		pthr     = flag.Float64("pthr", 0.75, "target red packet loss p_thr")
+		flows    = flag.Int("flows", 2, "number of MKC flows")
+		capacity = flag.Float64("capacity", 2000, "PELS capacity in kb/s")
+		alpha    = flag.Float64("alpha", 20, "MKC alpha in kb/s")
+		beta     = flag.Float64("beta", 0.5, "MKC beta")
+	)
+	flag.Parse()
+
+	if *p < 0 || *p > 1 {
+		fmt.Fprintln(os.Stderr, "fgscalc: p must be in [0,1]")
+		os.Exit(1)
+	}
+	if *h <= 0 {
+		fmt.Fprintln(os.Stderr, "fgscalc: H must be positive")
+		os.Exit(1)
+	}
+
+	fmt.Printf("Bernoulli loss p=%g, frame size H=%d packets\n\n", *p, *h)
+	fmt.Printf("best-effort streaming (§3.1):\n")
+	fmt.Printf("  E[useful packets]   (eq. 2): %.4f\n", analysis.ExpectedUsefulFixedH(*p, *h))
+	fmt.Printf("  E[received packets]        : %.4f\n", float64(*h)*(1-*p))
+	fmt.Printf("  utility             (eq. 3): %.4f\n", analysis.BestEffortUtility(*p, *h))
+	fmt.Printf("  saturation (1-p)/p         : %.4f\n", (1-*p) / *p)
+
+	fmt.Printf("\noptimal preferential streaming (§3.2):\n")
+	fmt.Printf("  useful packets = H(1-p)    : %.4f\n", analysis.OptimalUseful(*p, *h))
+	fmt.Printf("  utility                    : 1.0\n")
+
+	fmt.Printf("\nPELS with p_thr=%.2f (§4.3):\n", *pthr)
+	fmt.Printf("  gamma* = p/p_thr           : %.4f\n", analysis.GammaFixedPoint(*p, *pthr))
+	fmt.Printf("  utility bound       (eq. 6): %.4f\n", analysis.PELSUtilityBound(*p, *pthr))
+
+	fmt.Printf("\nMKC equilibrium for %d flows on %.0f kb/s (α=%.0f, β=%.2f):\n", *flows, *capacity, *alpha, *beta)
+	fmt.Printf("  r* = C/N + α/β     (eq. 10): %.1f kb/s\n", analysis.MKCStationaryRate(*capacity, *alpha, *beta, *flows))
+	fmt.Printf("  p* = Nα/(βC+Nα)            : %.4f\n", analysis.MKCStationaryLoss(*capacity, *alpha, *beta, *flows))
+}

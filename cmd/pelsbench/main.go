@@ -1,0 +1,267 @@
+// Command pelsbench regenerates every table and figure of the paper's
+// evaluation section. Summary rows print to stdout; with -csv DIR the
+// underlying time series are exported as CSV files for plotting.
+//
+// Usage:
+//
+//	pelsbench [-only <subset>] [-csv DIR] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pelsbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig5,fig7,fig8,fig9,fig10,ablations,multibottleneck,rdscaling,utilization,isolation,controllers,rttfairness,mixed (default: all)")
+	csvDir := flag.String("csv", "", "directory to write time-series CSV files into")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			selected[strings.TrimSpace(name)] = true
+		}
+	}
+	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			return fmt.Errorf("create csv dir: %w", err)
+		}
+	}
+
+	if want("table1") {
+		cfg := experiments.DefaultTable1Config()
+		cfg.Seed = *seed
+		rows := experiments.Table1(cfg)
+		section("Table 1 — expected number of useful packets")
+		fmt.Print(experiments.FormatTable1(rows))
+	}
+
+	if want("fig2") {
+		cfg := experiments.DefaultFigure2Config()
+		rows := experiments.Figure2(cfg)
+		section("Figure 2 — useful packets and utility vs frame size H")
+		fmt.Print(experiments.FormatFigure2(cfg, rows))
+	}
+
+	if want("fig3") {
+		res := experiments.Figure3(100, 0.1, *seed)
+		section("Figure 3 — random vs ideal drop pattern in one frame")
+		fmt.Print(experiments.FormatFigure3(res))
+	}
+
+	if want("fig5") {
+		res := experiments.Figure5(experiments.DefaultFigure5Config())
+		section("Figure 5 — gamma controller stability (sigma=0.5 vs sigma=3)")
+		fmt.Print(experiments.FormatFigure5(res))
+	}
+
+	if want("fig7") {
+		cfg := experiments.DefaultFigure7Config()
+		cfg.Seed = *seed
+		runs, err := experiments.Figure7(cfg)
+		if err != nil {
+			return err
+		}
+		section("Figure 7 — gamma evolution and red loss convergence")
+		fmt.Print(experiments.FormatFigure7(runs))
+		for _, r := range runs {
+			if err := writeCSV(*csvDir, fmt.Sprintf("fig7_n%d.csv", r.NumFlows), r.Gamma, r.RedLoss); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("fig8") {
+		cfg := experiments.DefaultFigure8Config()
+		cfg.Seed = *seed
+		res, err := experiments.Figure8(cfg)
+		if err != nil {
+			return err
+		}
+		section("Figure 8 / Figure 9 (left) — per-color queueing delays")
+		fmt.Print(experiments.FormatFigure8(res))
+		if err := writeCSV(*csvDir, "fig8_delays.csv", res.Green, res.Yellow, res.Red); err != nil {
+			return err
+		}
+	}
+
+	if want("fig9") {
+		cfg := experiments.DefaultFigure9Config()
+		cfg.Seed = *seed
+		res, err := experiments.Figure9(cfg)
+		if err != nil {
+			return err
+		}
+		section("Figure 9 (right) — MKC convergence and fairness")
+		fmt.Print(experiments.FormatFigure9(res))
+		if err := writeCSV(*csvDir, "fig9_rates.csv", res.Rates...); err != nil {
+			return err
+		}
+	}
+
+	if want("fig10") {
+		cfg := experiments.DefaultFigure10Config()
+		cfg.Seed = *seed
+		runs, err := experiments.Figure10(cfg)
+		if err != nil {
+			return err
+		}
+		section("Figure 10 — PSNR of reconstructed Foreman (PELS vs best-effort)")
+		fmt.Print(experiments.FormatFigure10(runs))
+		for _, r := range runs {
+			psnr := psnrSeries(r)
+			if err := writeCSV(*csvDir, fmt.Sprintf("fig10_n%d.csv", r.NumFlows), psnr...); err != nil {
+				return err
+			}
+		}
+	}
+
+	if want("ablations") {
+		cfg := experiments.DefaultAblationConfig()
+		cfg.Seed = *seed
+		rows, err := experiments.Ablations(cfg)
+		if err != nil {
+			return err
+		}
+		section("Ablations — design-choice variants (DESIGN.md §6)")
+		fmt.Print(experiments.FormatAblations(rows))
+	}
+
+	if want("multibottleneck") {
+		cfg := experiments.DefaultMultiBottleneckConfig()
+		cfg.Seed = *seed
+		res, err := experiments.MultiBottleneck(cfg)
+		if err != nil {
+			return err
+		}
+		section("Multi-bottleneck — max-min feedback and bottleneck shift (§5.2)")
+		fmt.Print(experiments.FormatMultiBottleneck(res))
+		if err := writeCSV(*csvDir, "multibottleneck.csv", res.Rate, res.BottleneckID); err != nil {
+			return err
+		}
+	}
+
+	if want("utilization") {
+		cfg := experiments.DefaultUtilizationConfig()
+		cfg.Seed = *seed
+		rows, err := experiments.Utilization(cfg)
+		if err != nil {
+			return err
+		}
+		section("Useful link utilization — PELS vs best-effort (§1)")
+		fmt.Print(experiments.FormatUtilization(rows))
+	}
+
+	if want("isolation") {
+		cfg := experiments.DefaultIsolationConfig()
+		cfg.Seed = *seed
+		res, err := experiments.Isolation(cfg)
+		if err != nil {
+			return err
+		}
+		section("WRR isolation — PELS and Internet queues do not affect each other (§6.1)")
+		fmt.Print(experiments.FormatIsolation(res))
+	}
+
+	if want("controllers") {
+		cfg := experiments.DefaultControllersConfig()
+		cfg.Seed = *seed
+		rows, err := experiments.Controllers(cfg)
+		if err != nil {
+			return err
+		}
+		section("Congestion-control independence — PELS under every controller (§5)")
+		fmt.Print(experiments.FormatControllers(rows))
+	}
+
+	if want("rttfairness") {
+		cfg := experiments.DefaultRTTFairnessConfig()
+		cfg.Seed = *seed
+		res, err := experiments.RTTFairness(cfg)
+		if err != nil {
+			return err
+		}
+		section("RTT fairness — MKC does not penalize long-RTT flows (Lemma 6)")
+		fmt.Print(experiments.FormatRTTFairness(res))
+	}
+
+	if want("mixed") {
+		cfg := experiments.DefaultMixedPopulationConfig()
+		cfg.Seed = *seed
+		res, err := experiments.MixedPopulation(cfg)
+		if err != nil {
+			return err
+		}
+		section("Mixed controller population — MKC vs AIMD on shared PELS queues")
+		fmt.Print(experiments.FormatMixedPopulation(res))
+	}
+
+	if want("rdscaling") {
+		cfg := experiments.DefaultRDScalingConfig()
+		cfg.Seed = *seed
+		res, err := experiments.RDScaling(cfg)
+		if err != nil {
+			return err
+		}
+		section("R-D-aware rate scaling — the §6.5 smoothing extension")
+		fmt.Print(experiments.FormatRDScaling(res))
+	}
+
+	return nil
+}
+
+func section(title string) {
+	fmt.Printf("\n=== %s ===\n", title)
+}
+
+func writeCSV(dir, name string, series ...*stats.TimeSeries) error {
+	if dir == "" {
+		return nil
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := stats.WriteCSV(f, series...); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
+}
+
+// psnrSeries converts a Figure10Run's per-frame PSNR arrays into series
+// indexed by frame number (stored in the time column as frame count).
+func psnrSeries(r experiments.Figure10Run) []*stats.TimeSeries {
+	base := stats.NewTimeSeries("base_psnr")
+	be := stats.NewTimeSeries("besteffort_psnr")
+	pels := stats.NewTimeSeries("pels_psnr")
+	for i := range r.BasePSNR {
+		base.Add(time.Duration(i)*time.Second, r.BasePSNR[i])
+	}
+	for i := range r.BEPSNR {
+		be.Add(time.Duration(i)*time.Second, r.BEPSNR[i])
+	}
+	for i := range r.PELSPSNR {
+		pels.Add(time.Duration(i)*time.Second, r.PELSPSNR[i])
+	}
+	return []*stats.TimeSeries{base, be, pels}
+}

@@ -1,0 +1,124 @@
+// Command pelsplot renders the CSV time series written by pelsbench and
+// pelssim as terminal charts, closing the simulate→export→inspect loop
+// without external tooling.
+//
+// Usage:
+//
+//	pelsplot [-width N] [-height N] [-cols a,b] file.csv
+//
+// The CSV layout is the one stats.WriteCSV produces: column pairs
+// (<name>_t, <name>). By default every pair is plotted; -cols selects a
+// subset by name.
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asciiplot"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pelsplot:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	width := flag.Int("width", 72, "chart width in characters")
+	height := flag.Int("height", 20, "chart height in rows")
+	cols := flag.String("cols", "", "comma-separated series names to plot (default: all)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		return fmt.Errorf("usage: pelsplot [-width N] [-height N] [-cols a,b] file.csv")
+	}
+	path := flag.Arg(0)
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	series, err := ReadSeriesCSV(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if *cols != "" {
+		want := map[string]bool{}
+		for _, c := range strings.Split(*cols, ",") {
+			want[strings.TrimSpace(c)] = true
+		}
+		filtered := series[:0]
+		for _, s := range series {
+			if want[s.Name] {
+				filtered = append(filtered, s)
+			}
+		}
+		series = filtered
+	}
+	if len(series) == 0 {
+		return fmt.Errorf("no matching series in %s", path)
+	}
+
+	cfg := asciiplot.DefaultConfig()
+	cfg.Width = *width
+	cfg.Height = *height
+	cfg.Title = path
+	cfg.XLabel = "time (s)"
+	fmt.Print(asciiplot.Render(cfg, series...))
+	return nil
+}
+
+// ReadSeriesCSV parses the stats.WriteCSV column-pair layout into plot
+// series.
+func ReadSeriesCSV(r io.Reader) ([]asciiplot.Series, error) {
+	cr := csv.NewReader(r)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("read header: %w", err)
+	}
+	if len(header)%2 != 0 {
+		return nil, fmt.Errorf("expected column pairs (<name>_t, <name>), got %d columns", len(header))
+	}
+	n := len(header) / 2
+	series := make([]asciiplot.Series, n)
+	for i := 0; i < n; i++ {
+		name := header[2*i+1]
+		if want := name + "_t"; header[2*i] != want {
+			return nil, fmt.Errorf("column %d is %q, want %q", 2*i, header[2*i], want)
+		}
+		series[i].Name = name
+	}
+	for {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("read row: %w", err)
+		}
+		for i := 0; i < n; i++ {
+			tRaw, vRaw := row[2*i], row[2*i+1]
+			if tRaw == "" || vRaw == "" {
+				continue
+			}
+			t, err := strconv.ParseFloat(tRaw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse time %q: %w", tRaw, err)
+			}
+			v, err := strconv.ParseFloat(vRaw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parse value %q: %w", vRaw, err)
+			}
+			series[i].X = append(series[i].X, t)
+			series[i].Y = append(series[i].Y, v)
+		}
+	}
+	return series, nil
+}

@@ -1,0 +1,43 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadSeriesCSV(t *testing.T) {
+	in := "a_t,a,b_t,b\n" +
+		"0.0,1.5,0.5,9\n" +
+		"1.0,2.5,,\n"
+	series, err := ReadSeriesCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 2 {
+		t.Fatalf("series = %d", len(series))
+	}
+	if series[0].Name != "a" || series[1].Name != "b" {
+		t.Errorf("names = %q, %q", series[0].Name, series[1].Name)
+	}
+	if len(series[0].X) != 2 || series[0].Y[1] != 2.5 {
+		t.Errorf("series a = %+v", series[0])
+	}
+	if len(series[1].X) != 1 || series[1].Y[0] != 9 {
+		t.Errorf("series b = %+v (empty cells must be skipped)", series[1])
+	}
+}
+
+func TestReadSeriesCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"odd columns":     "a_t,a,b\n",
+		"bad header pair": "a_x,a\n",
+		"bad time":        "a_t,a\nnope,1\n",
+		"bad value":       "a_t,a\n1,nope\n",
+		"empty":           "",
+	}
+	for name, in := range cases {
+		if _, err := ReadSeriesCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadSeriesCSV(%s) succeeded, want error", name)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+// Best-effort vs PELS: the paper's headline comparison (§6.5, Fig. 10).
+//
+// Two identical streaming scenarios run back to back on the Fig. 6
+// bar-bell: once with the PELS priority queues and once with a best-effort
+// bottleneck that drops enhancement packets uniformly at random (base layer
+// protected, as in the paper's baseline). The example prints per-frame
+// useful data, utility, and the reconstructed Foreman PSNR for both, plus
+// an ASCII PSNR strip chart.
+//
+// Run with: go run ./examples/besteffort-vs-pels
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "besteffort-vs-pels:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	cfg := experiments.DefaultFigure10Config()
+	cfg.Duration = 90 * time.Second
+	cfg.EvalFrames = 120
+	cfg.Levels = cfg.Levels[:1] // the ~10% loss operating point
+
+	fmt.Println("running PELS and best-effort simulations (~10% network loss)...")
+	runs, err := experiments.Figure10(cfg)
+	if err != nil {
+		return err
+	}
+	r := runs[0]
+
+	fmt.Printf("\n%d flows, measured loss: PELS %.1f%%, best-effort %.1f%%\n",
+		r.NumFlows, 100*r.PELSLoss, 100*r.BELoss)
+	fmt.Printf("\n%-22s %-14s %-12s %-16s\n", "scheme", "useful/frame", "utility", "PSNR (mean)")
+	fmt.Printf("%-22s %-14s %-12s %.2f dB\n", "base layer only", "-", "-", r.BaseMean)
+	fmt.Printf("%-22s %-14.1f %-12.3f %.2f dB (+%.1f%%)\n", "best-effort", r.BEUseful, r.BEUtility, r.BEMean, r.BEImprove)
+	fmt.Printf("%-22s %-14.1f %-12.3f %.2f dB (+%.1f%%)\n", "PELS", r.PELSUseful, r.PELSUtility, r.PELSMean, r.PELSImprove)
+	fmt.Printf("\nPSNR fluctuation: best-effort swings %.1f dB, PELS %.1f dB\n", r.BESwing, r.PELSSwing)
+
+	fmt.Println("\nper-frame PSNR (first 60 frames, '·' = base, 'b' = best-effort, 'P' = PELS):")
+	fmt.Print(strip(r, 60))
+	fmt.Println("\nthe same packets cross the same bottleneck in both runs — only the drop")
+	fmt.Println("*pattern* differs, and that alone is worth ~2-4x in useful video data.")
+	return nil
+}
+
+// strip renders a crude ASCII chart: one row per 2 dB bin, columns are
+// frames.
+func strip(r experiments.Figure10Run, frames int) string {
+	if frames > len(r.PELSPSNR) {
+		frames = len(r.PELSPSNR)
+	}
+	const lo, hi, step = 14.0, 50.0, 2.0
+	rows := int((hi - lo) / step)
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", frames))
+	}
+	plot := func(vs []float64, ch byte) {
+		for f := 0; f < frames && f < len(vs); f++ {
+			bin := int((vs[f] - lo) / step)
+			if bin < 0 {
+				bin = 0
+			}
+			if bin >= rows {
+				bin = rows - 1
+			}
+			grid[rows-1-bin][f] = ch
+		}
+	}
+	plot(r.BasePSNR, '.')
+	plot(r.BEPSNR, 'b')
+	plot(r.PELSPSNR, 'P')
+	var b strings.Builder
+	for i, row := range grid {
+		dB := hi - float64(i)*step
+		fmt.Fprintf(&b, "%5.0f |%s|\n", dB, string(row))
+	}
+	fmt.Fprintf(&b, "      +%s+\n", strings.Repeat("-", frames))
+	return b.String()
+}

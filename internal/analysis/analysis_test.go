@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpectedUsefulFixedHMatchesPaperTable1(t *testing.T) {
+	// Paper Table 1: H = 100.
+	tests := []struct {
+		p    float64
+		want float64
+	}{
+		{0.0001, 99.49},
+		{0.01, 62.76},
+		{0.1, 8.99},
+	}
+	for _, tt := range tests {
+		got := ExpectedUsefulFixedH(tt.p, 100)
+		if math.Abs(got-tt.want) > 0.011 {
+			t.Errorf("E[Y](p=%g) = %.2f, want %.2f", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestExpectedUsefulEdgeCases(t *testing.T) {
+	if got := ExpectedUsefulFixedH(0, 100); got != 100 {
+		t.Errorf("p=0: %v, want 100", got)
+	}
+	if got := ExpectedUsefulFixedH(1, 100); got != 0 {
+		t.Errorf("p=1: %v, want 0", got)
+	}
+	if got := ExpectedUsefulFixedH(0.1, 0); got != 0 {
+		t.Errorf("H=0: %v, want 0", got)
+	}
+}
+
+func TestExpectedUsefulSaturation(t *testing.T) {
+	// As H → ∞, E[Y] → (1−p)/p (paper §3.1).
+	p := 0.1
+	got := ExpectedUsefulFixedH(p, 100000)
+	want := (1 - p) / p
+	if math.Abs(got-want) > 1e-6 {
+		t.Errorf("saturation = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedUsefulGeneralPMFMatchesFixedH(t *testing.T) {
+	// A point-mass PMF at H=50 must reproduce the fixed-H formula.
+	q := make([]float64, 50)
+	q[49] = 1
+	for _, p := range []float64{0.01, 0.1, 0.5} {
+		general := ExpectedUseful(p, q)
+		fixed := ExpectedUsefulFixedH(p, 50)
+		if math.Abs(general-fixed) > 1e-9 {
+			t.Errorf("p=%g: general %v != fixed %v", p, general, fixed)
+		}
+	}
+}
+
+func TestExpectedUsefulMixturePMF(t *testing.T) {
+	// Lemma 1 is linear in the PMF: a 50/50 mixture of H=10 and H=20
+	// equals the average of the two fixed-H values.
+	q := make([]float64, 20)
+	q[9], q[19] = 0.5, 0.5
+	p := 0.1
+	want := (ExpectedUsefulFixedH(p, 10) + ExpectedUsefulFixedH(p, 20)) / 2
+	if got := ExpectedUseful(p, q); math.Abs(got-want) > 1e-9 {
+		t.Errorf("mixture = %v, want %v", got, want)
+	}
+}
+
+func TestExpectedUsefulZeroLossUsesMeanFrameSize(t *testing.T) {
+	q := make([]float64, 20)
+	q[9], q[19] = 0.5, 0.5
+	if got := ExpectedUseful(0, q); math.Abs(got-15) > 1e-9 {
+		t.Errorf("p=0 mixture = %v, want mean 15", got)
+	}
+}
+
+func TestExpectedUsefulEmptyPMF(t *testing.T) {
+	if got := ExpectedUseful(0.1, nil); got != 0 {
+		t.Errorf("empty PMF = %v, want 0", got)
+	}
+}
+
+func TestMonteCarloMatchesClosedForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for _, p := range []float64{0.01, 0.1, 0.3} {
+		sim := MonteCarloUseful(p, 100, 100000, rng)
+		model := ExpectedUsefulFixedH(p, 100)
+		if math.Abs(sim-model) > model*0.03+0.05 {
+			t.Errorf("p=%g: simulation %.3f vs model %.3f", p, sim, model)
+		}
+	}
+}
+
+func TestMonteCarloReceived(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	got := MonteCarloReceived(0.1, 100, 20000, rng)
+	if math.Abs(got-90) > 1 {
+		t.Errorf("received = %.2f, want ~90", got)
+	}
+	if MonteCarloReceived(0.1, 0, 10, rng) != 0 || MonteCarloUseful(0.1, 10, 0, rng) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestBestEffortUtility(t *testing.T) {
+	// Paper: U = 0.1 for p = 0.1, H = 100.
+	if got := BestEffortUtility(0.1, 100); math.Abs(got-0.1) > 0.001 {
+		t.Errorf("U(0.1, 100) = %v, want ~0.1", got)
+	}
+	if got := BestEffortUtility(0, 100); got != 1 {
+		t.Errorf("U(0) = %v, want 1", got)
+	}
+	if got := BestEffortUtility(1, 100); got != 0 {
+		t.Errorf("U(1) = %v, want 0", got)
+	}
+}
+
+// TestUtilityDecaysInverseH: the paper's observation that best-effort
+// utility drops to zero inverse-proportionally to H.
+func TestUtilityDecaysInverseH(t *testing.T) {
+	p := 0.1
+	for _, h := range []int{100, 200, 400, 800} {
+		u1 := BestEffortUtility(p, h)
+		u2 := BestEffortUtility(p, 2*h)
+		ratio := u1 / u2
+		if math.Abs(ratio-2) > 0.05 {
+			t.Errorf("U(%d)/U(%d) = %.3f, want ~2", h, 2*h, ratio)
+		}
+	}
+}
+
+func TestOptimalUseful(t *testing.T) {
+	if got := OptimalUseful(0.1, 100); got != 90 {
+		t.Errorf("OptimalUseful = %v, want 90", got)
+	}
+	if got := OptimalUseful(-1, 100); got != 100 {
+		t.Errorf("clamped p<0 = %v, want 100", got)
+	}
+	if got := OptimalUseful(2, 100); got != 0 {
+		t.Errorf("clamped p>1 = %v, want 0", got)
+	}
+}
+
+func TestPELSUtilityBound(t *testing.T) {
+	// Paper §4.3: U ≥ 0.96 for p=0.1, p_thr=0.75; ≥ 0.996 for p=0.01.
+	if got := PELSUtilityBound(0.1, 0.75); math.Abs(got-0.963) > 0.001 {
+		t.Errorf("bound(0.1) = %.4f, want ~0.963", got)
+	}
+	if got := PELSUtilityBound(0.01, 0.75); got < 0.996 {
+		t.Errorf("bound(0.01) = %.4f, want >= 0.996", got)
+	}
+	if got := PELSUtilityBound(0.8, 0.75); got != 0 {
+		t.Errorf("bound with p>p_thr = %v, want clamp at 0", got)
+	}
+	if got := PELSUtilityBound(0.1, 0); got != 0 {
+		t.Errorf("bound with p_thr=0 = %v, want 0", got)
+	}
+}
+
+// TestExpectedUsefulMonotoneProperty: E[Y] decreases in p and increases
+// in H.
+func TestExpectedUsefulMonotoneProperty(t *testing.T) {
+	f := func(pRaw uint8, hRaw uint8) bool {
+		p := 0.01 + 0.98*float64(pRaw)/255
+		h := int(hRaw)%500 + 2
+		base := ExpectedUsefulFixedH(p, h)
+		if ExpectedUsefulFixedH(p+0.005, h) > base+1e-9 {
+			return false
+		}
+		if ExpectedUsefulFixedH(p, h+1) < base-1e-9 {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+)
+
+// ExampleExpectedUsefulFixedH evaluates the paper's eq. (2) at the Table 1
+// operating points.
+func ExampleExpectedUsefulFixedH() {
+	for _, p := range []float64{0.0001, 0.01, 0.1} {
+		fmt.Printf("p=%-7g E[Y]=%.2f\n", p, analysis.ExpectedUsefulFixedH(p, 100))
+	}
+	// Output:
+	// p=0.0001  E[Y]=99.50
+	// p=0.01    E[Y]=62.76
+	// p=0.1     E[Y]=9.00
+}
+
+// ExampleBestEffortUtility shows the paper's §3.1 observation: best-effort
+// utility collapses as frames grow while optimal streaming keeps U = 1.
+func ExampleBestEffortUtility() {
+	for _, h := range []int{10, 100, 1000} {
+		fmt.Printf("H=%-5d U=%.4f\n", h, analysis.BestEffortUtility(0.1, h))
+	}
+	// Output:
+	// H=10    U=0.6513
+	// H=100   U=0.1000
+	// H=1000  U=0.0100
+}
+
+// ExampleGammaTrajectory iterates the γ controller of eq. (4) at the
+// paper's Fig. 5 heavy-loss operating point.
+func ExampleGammaTrajectory() {
+	traj := analysis.GammaTrajectory(0.05, 0.5, 0.5, 0.75, 20)
+	fmt.Printf("gamma converges to %.4f (fixed point %.4f)\n",
+		traj[len(traj)-1], analysis.GammaFixedPoint(0.5, 0.75))
+	// Output:
+	// gamma converges to 0.6667 (fixed point 0.6667)
+}
+
+// ExampleMKCStationaryRate evaluates eq. (10) for the paper's Fig. 9
+// scenario.
+func ExampleMKCStationaryRate() {
+	r := analysis.MKCStationaryRate(2000, 20, 0.5, 2)
+	fmt.Printf("r* = %.0f kb/s per flow\n", r)
+	// Output:
+	// r* = 1040 kb/s per flow
+}
+
+// ExamplePELSUtilityBound evaluates eq. (6): PELS keeps utility near 1
+// even at 10% loss.
+func ExamplePELSUtilityBound() {
+	fmt.Printf("U >= %.3f at p=0.10\n", analysis.PELSUtilityBound(0.10, 0.75))
+	fmt.Printf("U >= %.3f at p=0.01\n", analysis.PELSUtilityBound(0.01, 0.75))
+	// Output:
+	// U >= 0.963 at p=0.10
+	// U >= 0.997 at p=0.01
+}

@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGammaTrajectoryConvergesForStableSigma(t *testing.T) {
+	// Paper Fig. 5: σ=0.5, p=0.5, p_thr=0.75 → γ* ≈ 0.667.
+	traj := GammaTrajectory(0.05, 0.5, 0.5, 0.75, 40)
+	if len(traj) != 41 {
+		t.Fatalf("trajectory length = %d, want 41", len(traj))
+	}
+	target := GammaFixedPoint(0.5, 0.75)
+	if !Converged(traj, target, 1e-3, 5) {
+		t.Errorf("sigma=0.5 trajectory did not converge to %.4f: tail %v", target, traj[35:])
+	}
+}
+
+func TestGammaTrajectoryDivergesForSigma3(t *testing.T) {
+	traj := GammaTrajectory(0.05, 3, 0.5, 0.75, 30)
+	if !Diverged(traj, GammaFixedPoint(0.5, 0.75), 100) {
+		t.Error("sigma=3 trajectory did not diverge")
+	}
+	// Divergence alternates in sign around the fixed point.
+	last, prev := traj[30], traj[29]
+	target := GammaFixedPoint(0.5, 0.75)
+	if (last-target)*(prev-target) > 0 {
+		t.Error("unstable trajectory should oscillate around the fixed point")
+	}
+}
+
+func TestGammaTrajectoryDelayedStabilityIndependentOfDelay(t *testing.T) {
+	// Lemma 3: stability does not depend on the feedback delay.
+	target := GammaFixedPoint(0.3, 0.75)
+	for _, d := range []int{1, 2, 5, 10} {
+		traj := GammaTrajectoryDelayed(0.5, 0.9, 0.3, 0.75, d, 60*d)
+		if !Converged(traj, target, 1e-3, 5) {
+			t.Errorf("delay %d: not converged, tail %v", d, traj[len(traj)-3:])
+		}
+	}
+}
+
+func TestGammaTrajectoryDelayedMatchesUndelayedAtD1(t *testing.T) {
+	a := GammaTrajectory(0.2, 0.7, 0.4, 0.75, 20)
+	b := GammaTrajectoryDelayed(0.2, 0.7, 0.4, 0.75, 1, 20)
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("step %d: %v != %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestGammaStable(t *testing.T) {
+	for sigma, want := range map[float64]bool{
+		0.5: true, 1.0: true, 1.99: true,
+		0: false, -0.5: false, 2.0: false, 3: false,
+	} {
+		if got := GammaStable(sigma); got != want {
+			t.Errorf("GammaStable(%v) = %v, want %v", sigma, got, want)
+		}
+	}
+}
+
+func TestGammaFixedPointInfiniteForZeroThreshold(t *testing.T) {
+	if !math.IsInf(GammaFixedPoint(0.5, 0), 1) {
+		t.Error("fixed point with p_thr=0 should be +Inf")
+	}
+}
+
+func TestConvergedEdgeCases(t *testing.T) {
+	if Converged([]float64{1, 1}, 1, 0.1, 5) {
+		t.Error("short trajectory reported converged")
+	}
+	if Converged([]float64{1, 1, 1}, 1, 0.1, 0) {
+		t.Error("window 0 reported converged")
+	}
+}
+
+func TestMKCTrajectoryConvergesToEquation10(t *testing.T) {
+	// 4 flows, C=2000, α=20, β=0.5 → r* = 540.
+	rates := MKCTrajectory(4, 128, 20, 0.5, 2000, 0, 1000)
+	if len(rates) != 4 {
+		t.Fatalf("flows = %d", len(rates))
+	}
+	want := MKCStationaryRate(2000, 20, 0.5, 4)
+	for i, r := range rates {
+		got := r[len(r)-1]
+		if math.Abs(got-want) > want*0.01 {
+			t.Errorf("flow %d final rate = %.1f, want %.1f", i, got, want)
+		}
+	}
+}
+
+func TestMKCTrajectoryDelayIndependence(t *testing.T) {
+	// Lemma 5: converges for 0<β<2 under feedback delay.
+	want := MKCStationaryRate(1000, 20, 0.5, 2)
+	for _, d := range []int{0, 1, 3, 8} {
+		rates := MKCTrajectory(2, 128, 20, 0.5, 1000, d, 3000)
+		got := rates[0][3000]
+		if math.Abs(got-want) > want*0.02 {
+			t.Errorf("delay %d: final rate %.1f, want %.1f", d, got, want)
+		}
+	}
+}
+
+func TestMKCTrajectoryRTTFairness(t *testing.T) {
+	// Unlike TCP, MKC's equilibrium does not depend on starting rate:
+	// heterogeneous initial rates still converge to the same share.
+	rates := MKCTrajectory(3, 50, 10, 0.5, 1500, 2, 4000)
+	r0 := rates[0][4000]
+	for i := 1; i < 3; i++ {
+		if math.Abs(rates[i][4000]-r0) > 1 {
+			t.Errorf("flow %d final rate %.2f != flow 0 %.2f", i, rates[i][4000], r0)
+		}
+	}
+}
+
+func TestMKCTrajectoryDegenerateInputs(t *testing.T) {
+	if MKCTrajectory(0, 1, 1, 1, 1, 0, 10) != nil {
+		t.Error("n=0 should return nil")
+	}
+	if MKCTrajectory(1, 1, 1, 1, 1, 0, 0) != nil {
+		t.Error("steps=0 should return nil")
+	}
+}
+
+func TestMKCStationaryFormulaEdgeCases(t *testing.T) {
+	if MKCStationaryRate(1000, 20, 0, 2) != 0 {
+		t.Error("beta=0 should return 0")
+	}
+	if MKCStationaryRate(1000, 20, 0.5, 0) != 0 {
+		t.Error("n=0 should return 0")
+	}
+	if MKCStationaryLoss(1000, 20, 0.5, 0) != 0 {
+		t.Error("loss with n=0 should return 0")
+	}
+	// Consistency: plugging r* into the loss law reproduces p*.
+	n, c, a, b := 8, 2000.0, 20.0, 0.5
+	r := MKCStationaryRate(c, a, b, n)
+	p := (float64(n)*r - c) / (float64(n) * r)
+	if math.Abs(p-MKCStationaryLoss(c, a, b, n)) > 1e-12 {
+		t.Errorf("p from r* = %v, formula = %v", p, MKCStationaryLoss(c, a, b, n))
+	}
+}

@@ -1,0 +1,102 @@
+package aqm
+
+import (
+	"math/rand"
+
+	"repro/internal/packet"
+	"repro/internal/queue"
+)
+
+// BottleneckConfig sizes the bottleneck queue structure.
+type BottleneckConfig struct {
+	// PELSWeight and InternetWeight are the WRR link shares (paper uses
+	// 50%/50%).
+	PELSWeight     float64
+	InternetWeight float64
+	// Priority sizes the three PELS color buffers.
+	Priority queue.PriorityConfig
+	// InternetLimit is the Internet FIFO buffer in packets.
+	InternetLimit int
+}
+
+// DefaultBottleneckConfig mirrors the paper's simulation setup.
+func DefaultBottleneckConfig() BottleneckConfig {
+	return BottleneckConfig{
+		PELSWeight:     0.5,
+		InternetWeight: 0.5,
+		Priority:       queue.DefaultPriorityConfig(),
+		InternetLimit:  100,
+	}
+}
+
+// Bottleneck bundles the PELS bottleneck discipline with handles to its
+// parts so experiments can read per-color statistics.
+type Bottleneck struct {
+	// Disc is the full WRR discipline to attach to the bottleneck link.
+	Disc *queue.WRR
+	// PELS is the strict-priority color queue set.
+	PELS *queue.Priority
+	// Internet is the FIFO serving non-PELS traffic.
+	Internet *queue.DropTail
+}
+
+// NewBottleneck assembles the PELS queue structure of paper Fig. 4 (left):
+// green/yellow/red strict-priority queues for PELS packets and a FIFO for
+// everything else, scheduled by WRR.
+func NewBottleneck(cfg BottleneckConfig) *Bottleneck {
+	prio := queue.NewPriority(cfg.Priority)
+	internet := queue.NewDropTail(cfg.InternetLimit, 0)
+	wrr := queue.MustNewWRR(
+		queue.WRRClass{
+			Name:     "pels",
+			Disc:     prio,
+			Weight:   cfg.PELSWeight,
+			Classify: func(p *packet.Packet) bool { return p.Color.IsPELS() },
+		},
+		queue.WRRClass{
+			Name:     "internet",
+			Disc:     internet,
+			Weight:   cfg.InternetWeight,
+			Classify: func(p *packet.Packet) bool { return true },
+		},
+	)
+	return &Bottleneck{Disc: wrr, PELS: prio, Internet: internet}
+}
+
+// BestEffortBottleneck is the baseline bottleneck of §6.5: video packets
+// share a single FIFO whose drops are uniformly random (Bernoulli) in the
+// enhancement layer, while green base-layer packets are "magically"
+// protected. The drop probability tracks the router's computed feedback
+// loss, reproducing the independent-loss model of §3.1 inside a full
+// simulation.
+type BestEffortBottleneck struct {
+	Disc  *queue.WRR
+	Video *queue.OracleFIFO
+	// Internet is the FIFO serving non-video traffic.
+	Internet *queue.DropTail
+}
+
+// NewBestEffortBottleneck assembles the baseline queue. The loss function
+// is sampled per arriving packet; wiring it to Feedback.Loss makes drops
+// follow the measured congestion level.
+func NewBestEffortBottleneck(cfg BottleneckConfig, loss func() float64, rng *rand.Rand) *BestEffortBottleneck {
+	video := queue.NewOracleFIFO(cfg.Priority.YellowLimit+cfg.Priority.RedLimit, loss, rng)
+	internet := queue.NewDropTail(cfg.InternetLimit, 0)
+	wrr := queue.MustNewWRR(
+		queue.WRRClass{
+			Name:   "video",
+			Disc:   video,
+			Weight: cfg.PELSWeight,
+			Classify: func(p *packet.Packet) bool {
+				return p.Color.IsPELS() || p.Color == packet.BestEffort
+			},
+		},
+		queue.WRRClass{
+			Name:     "internet",
+			Disc:     internet,
+			Weight:   cfg.InternetWeight,
+			Classify: func(p *packet.Packet) bool { return true },
+		},
+	)
+	return &BestEffortBottleneck{Disc: wrr, Video: video, Internet: internet}
+}

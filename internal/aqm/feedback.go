@@ -1,0 +1,142 @@
+// Package aqm implements the router-side machinery of the PELS framework:
+// interval-based loss feedback computation (paper eq. 11), epoch-numbered
+// feedback stamping into passing packets (paper §5.2), and assembly of the
+// PELS queue structure (strict-priority color queues + Internet FIFO under
+// WRR, paper Fig. 4 left). A best-effort variant used as the paper's
+// baseline (§6.5) is also provided.
+package aqm
+
+import (
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// FeedbackConfig parameterizes the per-router feedback computation.
+type FeedbackConfig struct {
+	// RouterID identifies this router in feedback labels.
+	RouterID int
+	// Interval is T, the measurement period (paper uses 30 ms).
+	Interval time.Duration
+	// Capacity is C, the capacity available to PELS traffic — the WRR
+	// share of the outgoing link, not the raw link rate.
+	Capacity units.BitRate
+	// MinLoss clamps the computed loss from below. Negative p is
+	// meaningful (it drives MKC's exponential bandwidth claiming), but an
+	// idle interval would otherwise produce p → −∞. Zero selects
+	// DefaultMinLoss.
+	MinLoss float64
+	// StampBestEffort extends feedback stamping to best-effort-colored
+	// packets, used by the baseline streaming scheme.
+	StampBestEffort bool
+	// GreenOnly restricts stamping to green packets. The paper argues
+	// (§5.1) this adds feedback latency; it exists for the ablation bench.
+	GreenOnly bool
+}
+
+// DefaultMinLoss bounds p from below: with β=0.5 and p=−2, a source at
+// most doubles its rate per control interval.
+const DefaultMinLoss = -2.0
+
+// Feedback measures the aggregate PELS arrival rate R = S/T every interval,
+// computes packet loss p = (R−C)/R, increments the epoch number z, and
+// stamps (routerID, z, p) into passing packets (paper eq. 11 and §5.2).
+// It implements netsim.Processor.
+type Feedback struct {
+	cfg    FeedbackConfig
+	eng    *sim.Engine
+	ticker *sim.Ticker
+
+	bytes int64 // S: PELS bytes arrived in the current interval
+	epoch uint64
+	loss  float64
+
+	// OnCompute, if non-nil, is invoked after each interval computation
+	// with the new epoch, measured rate and loss (for time-series
+	// collection in experiments).
+	OnCompute func(epoch uint64, rate units.BitRate, loss float64)
+}
+
+var _ netsim.Processor = (*Feedback)(nil)
+
+// NewFeedback creates the processor and starts its measurement ticker.
+func NewFeedback(eng *sim.Engine, cfg FeedbackConfig) *Feedback {
+	if cfg.Interval <= 0 {
+		panic("aqm: feedback interval must be positive")
+	}
+	if cfg.Capacity <= 0 {
+		panic("aqm: feedback capacity must be positive")
+	}
+	if cfg.MinLoss == 0 {
+		cfg.MinLoss = DefaultMinLoss
+	}
+	f := &Feedback{cfg: cfg, eng: eng, loss: cfg.MinLoss}
+	f.ticker = sim.NewTicker(eng, cfg.Interval, f.compute)
+	f.ticker.Start()
+	return f
+}
+
+// Process implements netsim.Processor: it counts PELS arrivals toward S and
+// stamps the current feedback label into the packet header.
+func (f *Feedback) Process(p *packet.Packet) {
+	if p.Color.IsPELS() || (f.cfg.StampBestEffort && p.Color == packet.BestEffort) {
+		f.bytes += int64(p.Size)
+	}
+	if !f.shouldStamp(p) {
+		return
+	}
+	p.Feedback = p.Feedback.Merge(f.cfg.RouterID, f.epoch, f.loss)
+}
+
+func (f *Feedback) shouldStamp(p *packet.Packet) bool {
+	if f.cfg.GreenOnly {
+		return p.Color == packet.Green
+	}
+	if p.Color.IsPELS() {
+		return true
+	}
+	return f.cfg.StampBestEffort && p.Color == packet.BestEffort
+}
+
+// compute implements paper eq. (11): R = S/T, p = (R−C)/R, z = z+1, S = 0.
+func (f *Feedback) compute() {
+	rate := units.RateFromBytes(f.bytes, f.cfg.Interval)
+	loss := f.cfg.MinLoss
+	if rate > 0 {
+		loss = (float64(rate) - float64(f.cfg.Capacity)) / float64(rate)
+		if loss < f.cfg.MinLoss {
+			loss = f.cfg.MinLoss
+		}
+	}
+	f.loss = loss
+	f.epoch++
+	f.bytes = 0
+	if f.OnCompute != nil {
+		f.OnCompute(f.epoch, rate, loss)
+	}
+}
+
+// SetCapacity changes the capacity C used in subsequent loss computations.
+// Experiments use it to model WRR reconfiguration or a higher-priority
+// aggregate claiming part of the PELS share (bottleneck shifts, §5.2).
+func (f *Feedback) SetCapacity(c units.BitRate) {
+	if c <= 0 {
+		panic("aqm: SetCapacity with non-positive capacity")
+	}
+	f.cfg.Capacity = c
+}
+
+// Capacity returns the capacity currently used for loss computation.
+func (f *Feedback) Capacity() units.BitRate { return f.cfg.Capacity }
+
+// Epoch returns the router's current epoch number z.
+func (f *Feedback) Epoch() uint64 { return f.epoch }
+
+// Loss returns the most recently computed loss p(k).
+func (f *Feedback) Loss() float64 { return f.loss }
+
+// Stop halts the measurement ticker.
+func (f *Feedback) Stop() { f.ticker.Stop() }

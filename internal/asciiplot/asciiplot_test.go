@@ -1,0 +1,96 @@
+package asciiplot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func line(n int, f func(i int) (x, y float64)) Series {
+	s := Series{X: make([]float64, n), Y: make([]float64, n)}
+	for i := 0; i < n; i++ {
+		s.X[i], s.Y[i] = f(i)
+	}
+	return s
+}
+
+func TestRenderBasicShape(t *testing.T) {
+	s := line(50, func(i int) (float64, float64) { return float64(i), float64(i) })
+	s.Name = "ramp"
+	out := Render(DefaultConfig(), s)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Height rows + axis + x-range + legend.
+	if len(lines) != 20+3 {
+		t.Fatalf("rendered %d lines:\n%s", len(lines), out)
+	}
+	// A monotone ramp puts a marker in the top row and the bottom row.
+	if !strings.Contains(lines[0], "*") {
+		t.Errorf("top row has no marker:\n%s", out)
+	}
+	if !strings.Contains(lines[19], "*") {
+		t.Errorf("bottom row has no marker:\n%s", out)
+	}
+	if !strings.Contains(out, "* ramp") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderMultipleSeriesMarkers(t *testing.T) {
+	a := line(10, func(i int) (float64, float64) { return float64(i), 0 })
+	a.Name = "low"
+	b := line(10, func(i int) (float64, float64) { return float64(i), 10 })
+	b.Name = "high"
+	out := Render(DefaultConfig(), a, b)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("expected two distinct markers:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	if out := Render(DefaultConfig()); out != "(no data)\n" {
+		t.Errorf("empty render = %q", out)
+	}
+	nan := Series{X: []float64{math.NaN()}, Y: []float64{1}}
+	if out := Render(DefaultConfig(), nan); out != "(no data)\n" {
+		t.Errorf("all-NaN render = %q", out)
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := line(5, func(i int) (float64, float64) { return float64(i), 7 })
+	out := Render(DefaultConfig(), s)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("constant series produced NaN axis labels:\n%s", out)
+	}
+}
+
+func TestRenderTitleAndXLabel(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Title = "gamma evolution"
+	cfg.XLabel = "time (s)"
+	s := line(5, func(i int) (float64, float64) { return float64(i), float64(i * i) })
+	out := Render(cfg, s)
+	if !strings.HasPrefix(out, "gamma evolution\n") {
+		t.Errorf("title missing:\n%s", out)
+	}
+	if !strings.Contains(out, "time (s)") {
+		t.Errorf("x label missing:\n%s", out)
+	}
+}
+
+func TestRenderTinyConfigFallsBack(t *testing.T) {
+	cfg := Config{Width: 1, Height: 1}
+	s := line(3, func(i int) (float64, float64) { return float64(i), float64(i) })
+	out := Render(cfg, s)
+	if len(out) == 0 || strings.Contains(out, "panic") {
+		t.Error("tiny config did not fall back to defaults")
+	}
+}
+
+func TestRenderSkipsMismatchedYs(t *testing.T) {
+	s := Series{X: []float64{0, 1, 2}, Y: []float64{5}}
+	out := Render(DefaultConfig(), s)
+	if out == "(no data)\n" {
+		t.Error("series with one valid point rendered as empty")
+	}
+}

@@ -1,0 +1,85 @@
+package cc
+
+import (
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// AIMDConfig parameterizes the additive-increase/multiplicative-decrease
+// baseline the paper calls "unacceptable for video streaming due to its
+// large rate fluctuations" (§5). It consumes the same router feedback as
+// MKC: positive loss triggers a multiplicative back-off, otherwise the rate
+// grows additively.
+type AIMDConfig struct {
+	// Increase is the additive step per loss-free control interval.
+	Increase units.BitRate
+	// Decrease is the multiplicative back-off factor in (0,1) applied on
+	// loss (TCP-like AIMD uses 0.5).
+	Decrease float64
+	// InitialRate is r(0).
+	InitialRate units.BitRate
+	// MinRate floors the rate.
+	MinRate units.BitRate
+	// MaxRate caps the rate; 0 means uncapped.
+	MaxRate units.BitRate
+}
+
+// DefaultAIMDConfig returns a configuration comparable to the paper's MKC
+// setup (same additive step and initial rate).
+func DefaultAIMDConfig() AIMDConfig {
+	return AIMDConfig{
+		Increase:    20 * units.Kbps,
+		Decrease:    0.5,
+		InitialRate: 128 * units.Kbps,
+		MinRate:     16 * units.Kbps,
+	}
+}
+
+// AIMD is the oscillating baseline controller.
+type AIMD struct {
+	cfg   AIMDConfig
+	rate  units.BitRate
+	loss  float64
+	fresh freshness
+
+	// OnUpdate, if non-nil, fires after every accepted rate update.
+	OnUpdate func(rate units.BitRate, loss float64)
+}
+
+var _ Controller = (*AIMD)(nil)
+
+// NewAIMD validates cfg and returns a controller.
+func NewAIMD(cfg AIMDConfig) *AIMD {
+	if cfg.Decrease <= 0 || cfg.Decrease >= 1 {
+		panic("cc: AIMD decrease factor must be in (0,1)")
+	}
+	if cfg.InitialRate <= 0 {
+		panic("cc: AIMD initial rate must be positive")
+	}
+	return &AIMD{cfg: cfg, rate: cfg.InitialRate}
+}
+
+// OnFeedback implements Controller.
+func (a *AIMD) OnFeedback(fb packet.Feedback) bool {
+	if !a.fresh.accept(fb) {
+		return false
+	}
+	a.loss = fb.Loss
+	var next units.BitRate
+	if fb.Loss > 0 {
+		next = units.BitRate(float64(a.rate) * a.cfg.Decrease)
+	} else {
+		next = a.rate + a.cfg.Increase
+	}
+	a.rate = clampRate(next, a.cfg.MinRate, a.cfg.MaxRate)
+	if a.OnUpdate != nil {
+		a.OnUpdate(a.rate, a.loss)
+	}
+	return true
+}
+
+// Rate implements Controller.
+func (a *AIMD) Rate() units.BitRate { return a.rate }
+
+// LastLoss implements Controller.
+func (a *AIMD) LastLoss() float64 { return a.loss }

@@ -1,0 +1,56 @@
+// Package cc implements the end-host congestion controllers studied in the
+// paper: Max-min Kelly Control (MKC, paper eq. 8) and an AIMD baseline used
+// for comparison. Controllers are pure state machines driven by router
+// feedback labels; pacing and packetization live in the source packages.
+package cc
+
+import (
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// Controller adjusts a sending rate in response to router feedback.
+type Controller interface {
+	// OnFeedback offers a feedback label to the controller. It returns
+	// true if the label was fresh (new epoch) and the rate was updated.
+	OnFeedback(fb packet.Feedback) bool
+	// Rate returns the current sending rate.
+	Rate() units.BitRate
+	// LastLoss returns the loss value from the most recent accepted
+	// feedback (0 before any feedback).
+	LastLoss() float64
+}
+
+// clampRate bounds r to [min, max]; max <= 0 means unbounded above.
+func clampRate(r, min, max units.BitRate) units.BitRate {
+	if r < min {
+		return min
+	}
+	if max > 0 && r > max {
+		return max
+	}
+	return r
+}
+
+// freshness tracks feedback epoch deduplication shared by controllers
+// (paper §5.2): a source reacts to each router epoch exactly once, and
+// resets when the bottleneck (router ID) shifts.
+type freshness struct {
+	routerID int
+	epoch    uint64
+	seen     bool
+}
+
+// accept reports whether fb is fresh and records it if so.
+func (f *freshness) accept(fb packet.Feedback) bool {
+	if !fb.Valid {
+		return false
+	}
+	if f.seen && fb.RouterID == f.routerID && fb.Epoch <= f.epoch {
+		return false
+	}
+	f.routerID = fb.RouterID
+	f.epoch = fb.Epoch
+	f.seen = true
+	return true
+}

@@ -1,0 +1,41 @@
+package cc_test
+
+import (
+	"fmt"
+
+	"repro/internal/cc"
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// ExampleMKC drives a controller against the analytic single-bottleneck
+// feedback law until it settles at the eq. (10) stationary rate.
+func ExampleMKC() {
+	ctrl := cc.NewMKC(cc.DefaultMKCConfig())
+	const capacity = 1000.0 // kb/s
+	for epoch := uint64(1); epoch <= 400; epoch++ {
+		r := ctrl.Rate().KbpsValue()
+		loss := (r - capacity) / r
+		ctrl.OnFeedback(packet.Feedback{RouterID: 1, Epoch: epoch, Loss: loss, Valid: true})
+	}
+	want := cc.DefaultMKCConfig().StationaryRate(1000*units.Kbps, 1)
+	fmt.Printf("rate %.0f kb/s, stationary %.0f kb/s\n",
+		ctrl.Rate().KbpsValue(), want.KbpsValue())
+	// Output:
+	// rate 1040 kb/s, stationary 1040 kb/s
+}
+
+// ExampleMKC_epochDedup shows the §5.2 freshness rule: a source reacts to
+// each router epoch exactly once.
+func ExampleMKC_epochDedup() {
+	ctrl := cc.NewMKC(cc.DefaultMKCConfig())
+	fb := packet.Feedback{RouterID: 1, Epoch: 7, Loss: 0.1, Valid: true}
+	fmt.Println(ctrl.OnFeedback(fb)) // fresh
+	fmt.Println(ctrl.OnFeedback(fb)) // duplicate epoch
+	fb.Epoch = 8
+	fmt.Println(ctrl.OnFeedback(fb)) // fresh again
+	// Output:
+	// true
+	// false
+	// true
+}

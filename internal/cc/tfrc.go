@@ -1,0 +1,145 @@
+package cc
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// TFRCConfig parameterizes an equation-based controller in the spirit of
+// TFRC (Floyd & Padhye, SIGCOMM 2000), which the paper lists among the
+// smooth multimedia controllers (§5). The sending rate tracks the TCP
+// throughput equation at the measured loss rate:
+//
+//	r(p) = S / (RTT·√(2p/3) + t_RTO·3·√(3p/8)·p·(1+32p²))
+//
+// Loss comes from the same router feedback as MKC (an EWMA stands in for
+// TFRC's loss-event-interval estimator); RTT is configured, matching our
+// fixed-topology simulations. Rate moves toward r(p) with a smoothing
+// factor rather than jumping, as TFRC's slow-start/convergence rules do.
+type TFRCConfig struct {
+	// SegmentSize is S in bytes.
+	SegmentSize int
+	// RTT is the round-trip estimate; RTO defaults to 4×RTT.
+	RTT time.Duration
+	RTO time.Duration
+	// LossEWMA weights new feedback into the smoothed loss estimate
+	// (default 0.25).
+	LossEWMA float64
+	// Smoothing bounds the per-update rate movement toward the equation
+	// rate (default 0.5: move halfway each control interval).
+	Smoothing float64
+	// MinLoss floors the loss estimate so the equation stays finite at
+	// p → 0 (default 1e-4, which caps the equation rate instead of
+	// letting it diverge).
+	MinLoss float64
+	// InitialRate, MinRate, MaxRate as in MKCConfig.
+	InitialRate units.BitRate
+	MinRate     units.BitRate
+	MaxRate     units.BitRate
+}
+
+// DefaultTFRCConfig returns a configuration for the paper's topology
+// (500-byte packets, ~40 ms RTT).
+func DefaultTFRCConfig() TFRCConfig {
+	return TFRCConfig{
+		SegmentSize: 500,
+		RTT:         40 * time.Millisecond,
+		LossEWMA:    0.25,
+		Smoothing:   0.5,
+		MinLoss:     1e-4,
+		InitialRate: 128 * units.Kbps,
+		MinRate:     16 * units.Kbps,
+	}
+}
+
+// TFRC is the equation-based controller.
+type TFRC struct {
+	cfg   TFRCConfig
+	rate  units.BitRate
+	loss  float64 // smoothed loss estimate
+	last  float64 // last raw feedback
+	fresh freshness
+
+	// OnUpdate, if non-nil, fires after every accepted rate update.
+	OnUpdate func(rate units.BitRate, loss float64)
+}
+
+var _ Controller = (*TFRC)(nil)
+
+// NewTFRC validates cfg and returns a controller.
+func NewTFRC(cfg TFRCConfig) *TFRC {
+	if cfg.SegmentSize <= 0 {
+		panic("cc: TFRC segment size must be positive")
+	}
+	if cfg.RTT <= 0 {
+		panic("cc: TFRC RTT must be positive")
+	}
+	if cfg.RTO <= 0 {
+		cfg.RTO = 4 * cfg.RTT
+	}
+	if cfg.LossEWMA <= 0 || cfg.LossEWMA > 1 {
+		cfg.LossEWMA = 0.25
+	}
+	if cfg.Smoothing <= 0 || cfg.Smoothing > 1 {
+		cfg.Smoothing = 0.5
+	}
+	if cfg.MinLoss <= 0 {
+		cfg.MinLoss = 1e-4
+	}
+	if cfg.InitialRate <= 0 {
+		panic("cc: TFRC initial rate must be positive")
+	}
+	return &TFRC{cfg: cfg, rate: cfg.InitialRate, loss: cfg.MinLoss}
+}
+
+// EquationRate returns the TCP throughput equation evaluated at loss p.
+func (cfg TFRCConfig) EquationRate(p float64) units.BitRate {
+	if p < cfg.MinLoss {
+		p = cfg.MinLoss
+	}
+	if p > 1 {
+		p = 1
+	}
+	rtt := cfg.RTT.Seconds()
+	rto := cfg.RTO.Seconds()
+	if rto == 0 {
+		rto = 4 * rtt
+	}
+	den := rtt*math.Sqrt(2*p/3) + rto*3*math.Sqrt(3*p/8)*p*(1+32*p*p)
+	if den <= 0 {
+		return 0
+	}
+	return units.BitRate(float64(cfg.SegmentSize) * 8 / den)
+}
+
+// OnFeedback implements Controller.
+func (t *TFRC) OnFeedback(fb packet.Feedback) bool {
+	if !t.fresh.accept(fb) {
+		return false
+	}
+	t.last = fb.Loss
+	raw := fb.Loss
+	if raw < 0 {
+		raw = 0
+	}
+	t.loss += t.cfg.LossEWMA * (raw - t.loss)
+	target := t.cfg.EquationRate(t.loss)
+	next := t.rate + units.BitRate(t.cfg.Smoothing*float64(target-t.rate))
+	t.rate = clampRate(next, t.cfg.MinRate, t.cfg.MaxRate)
+	if t.OnUpdate != nil {
+		t.OnUpdate(t.rate, t.last)
+	}
+	return true
+}
+
+// Rate implements Controller.
+func (t *TFRC) Rate() units.BitRate { return t.rate }
+
+// LastLoss implements Controller.
+func (t *TFRC) LastLoss() float64 { return t.last }
+
+// SmoothedLoss returns the EWMA loss estimate the equation runs on.
+func (t *TFRC) SmoothedLoss() float64 { return t.loss }

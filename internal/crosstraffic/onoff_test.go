@@ -1,0 +1,132 @@
+package crosstraffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+type countingSink struct {
+	pkts  int64
+	bytes int64
+}
+
+func (c *countingSink) Receive(p *packet.Packet) {
+	c.pkts++
+	c.bytes += int64(p.Size)
+}
+
+func rig(t *testing.T, cfg OnOffConfig) (*sim.Engine, *OnOff, *countingSink) {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	nw := netsim.NewNetwork(eng)
+	h := nw.NewHost("src")
+	sink := &countingSink{}
+	h.SetUplink(netsim.NewLink(eng, "l", 100*units.Mbps, 0, nil, sink))
+	gen := NewOnOff(nw, h, 99, cfg)
+	return eng, gen, sink
+}
+
+func TestOnOffMeanRateHalvesWithDutyCycle(t *testing.T) {
+	cfg := DefaultOnOffConfig(1)
+	eng, gen, sink := rig(t, cfg)
+	gen.Start(0)
+	const duration = 120 * time.Second
+	if err := eng.RunUntil(duration); err != nil {
+		t.Fatal(err)
+	}
+	// 50% duty cycle at 2 mb/s → ~1 mb/s long-run average.
+	got := float64(sink.bytes) * 8 / duration.Seconds() / 1e6
+	if math.Abs(got-1.0) > 0.15 {
+		t.Errorf("mean rate = %.2f mb/s, want ~1.0", got)
+	}
+	if gen.OnPeriods() < 50 {
+		t.Errorf("only %d ON periods over %v", gen.OnPeriods(), duration)
+	}
+}
+
+func TestOnOffPeakRateDuringOn(t *testing.T) {
+	cfg := DefaultOnOffConfig(1)
+	cfg.MeanOn = time.Hour // effectively always on
+	cfg.MeanOff = time.Millisecond
+	eng, gen, sink := rig(t, cfg)
+	gen.Start(0)
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	got := float64(sink.bytes) * 8 / 10 / 1e6
+	if math.Abs(got-2.0) > 0.05 {
+		t.Errorf("ON rate = %.2f mb/s, want 2.0", got)
+	}
+}
+
+func TestOnOffStop(t *testing.T) {
+	eng, gen, sink := rig(t, DefaultOnOffConfig(1))
+	gen.Start(0)
+	eng.Schedule(time.Second, gen.Stop)
+	if err := eng.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	at1s := sink.pkts
+	if err := eng.RunUntil(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if sink.pkts != at1s {
+		t.Error("generator kept sending after Stop")
+	}
+	if gen.On() {
+		t.Error("On() = true after Stop")
+	}
+}
+
+func TestOnOffParetoHeavyTail(t *testing.T) {
+	// With the same mean, Pareto ON periods must produce a larger maximum
+	// burst than exponential ones over a long run.
+	burstMax := func(shape float64) time.Duration {
+		cfg := DefaultOnOffConfig(1)
+		cfg.ParetoShape = shape
+		eng, gen, _ := rig(t, cfg)
+		gen.Start(0)
+		var maxOn, onStart time.Duration
+		var prevOn bool
+		probe := sim.NewTicker(eng, 10*time.Millisecond, func() {
+			on := gen.On()
+			if on && !prevOn {
+				onStart = eng.Now()
+			}
+			if !on && prevOn {
+				if d := eng.Now() - onStart; d > maxOn {
+					maxOn = d
+				}
+			}
+			prevOn = on
+		})
+		probe.Start()
+		if err := eng.RunUntil(300 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+		return maxOn
+	}
+	exp := burstMax(0)      // exponential
+	pareto := burstMax(1.2) // heavy tail
+	t.Logf("max ON burst: exponential %v, pareto %v", exp, pareto)
+	if pareto <= exp {
+		t.Errorf("pareto max burst %v not above exponential %v", pareto, exp)
+	}
+}
+
+func TestOnOffDefaultsApplied(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netsim.NewNetwork(eng)
+	h := nw.NewHost("src")
+	h.SetUplink(netsim.NewLink(eng, "l", units.Mbps, 0, nil, &countingSink{}))
+	gen := NewOnOff(nw, h, 1, OnOffConfig{Flow: 1})
+	if gen.cfg.PacketSize != 1000 || gen.cfg.Rate != units.Mbps {
+		t.Errorf("defaults not applied: %+v", gen.cfg)
+	}
+}

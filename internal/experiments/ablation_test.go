@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestAblations verifies each design choice earns its keep (DESIGN.md §6).
+func TestAblations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack simulation")
+	}
+	cfg := DefaultAblationConfig()
+	cfg.Duration = 60 * time.Second
+	rows, err := Ablations(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]AblationResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	base := byName["baseline"]
+	t.Log("\n" + FormatAblations(rows))
+
+	// Baseline: high utility, protected yellow, red loss near p_thr.
+	if base.MeanUtility < 0.9 {
+		t.Errorf("baseline utility %.3f", base.MeanUtility)
+	}
+	if base.YellowLoss > 0.01 {
+		t.Errorf("baseline yellow loss %.4f", base.YellowLoss)
+	}
+	if base.RedLoss < 0.5 || base.RedLoss > 0.9 {
+		t.Errorf("baseline red loss %.3f, want near p_thr", base.RedLoss)
+	}
+
+	// Strict priority is the core mechanism: the FIFO variant collapses.
+	if fifo := byName["fifo"]; fifo.MeanUtility > base.MeanUtility/2 {
+		t.Errorf("fifo utility %.3f not far below baseline %.3f", fifo.MeanUtility, base.MeanUtility)
+	}
+
+	// Epoch dedup stabilizes the rate loop: without it the rate variance
+	// explodes.
+	if nd := byName["no-dedup"]; nd.RateStdDev < 3*base.RateStdDev {
+		t.Errorf("no-dedup rate stddev %.1f not well above baseline %.1f", nd.RateStdDev, base.RateStdDev)
+	}
+
+	// A fixed γ below γ* spills loss into the yellow queue.
+	if low := byName["fixed-gamma-low"]; low.YellowLoss < 10*base.YellowLoss {
+		t.Errorf("fixed-gamma-low yellow loss %.4f not well above baseline %.4f", low.YellowLoss, base.YellowLoss)
+	}
+
+	// A fixed γ above γ* wastes bandwidth on probes that survive past
+	// gaps: utility drops.
+	if high := byName["fixed-gamma-high"]; high.MeanUtility > base.MeanUtility-0.2 {
+		t.Errorf("fixed-gamma-high utility %.3f should sit well below baseline %.3f", high.MeanUtility, base.MeanUtility)
+	}
+
+	// γ over the enhancement share only: red loss overshoots p_thr because
+	// the feedback loss denominator includes the base layer.
+	if enh := byName["gamma-enh-share"]; enh.RedLoss < base.RedLoss+0.1 {
+		t.Errorf("gamma-enh-share red loss %.3f should overshoot baseline %.3f", enh.RedLoss, base.RedLoss)
+	}
+
+	// Green-only feedback still converges here (short base spacing) but
+	// must not beat the baseline.
+	if gof := byName["green-only-feedback"]; gof.MeanUtility > base.MeanUtility+0.02 {
+		t.Errorf("green-only feedback utility %.3f above baseline %.3f", gof.MeanUtility, base.MeanUtility)
+	}
+
+	// Two priorities (QBSS-like, §2.1) are not enough: without red probes
+	// the congestion loss tail-drops straight into the enhancement class
+	// and utility collapses nearly to best-effort levels.
+	if tp := byName["two-priority"]; tp.MeanUtility > base.MeanUtility/2 {
+		t.Errorf("two-priority utility %.3f not far below baseline %.3f", tp.MeanUtility, base.MeanUtility)
+	}
+
+	// PELS is congestion-control independent (paper §5): AIMD keeps
+	// utility intact, paying in throughput and smoothness instead.
+	aimd := byName["aimd-controller"]
+	if aimd.MeanUtility < 0.9 {
+		t.Errorf("AIMD-driven PELS utility %.3f, want ≥ 0.9", aimd.MeanUtility)
+	}
+	if aimd.RateMean >= base.RateMean {
+		t.Errorf("AIMD rate %.0f not below MKC's %.0f (sawtooth underutilizes)", aimd.RateMean, base.RateMean)
+	}
+	if aimd.RateStdDev < 3*base.RateStdDev {
+		t.Errorf("AIMD rate stddev %.1f not well above MKC's %.1f", aimd.RateStdDev, base.RateStdDev)
+	}
+}

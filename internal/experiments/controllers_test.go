@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestControllerIndependence verifies the paper's §5 claim at full
+// breadth: the PELS priority machinery keeps utility high under every
+// congestion controller; only rate smoothness and throughput differ.
+func TestControllerIndependence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack simulation")
+	}
+	cfg := DefaultControllersConfig()
+	cfg.Duration = 60 * time.Second
+	rows, err := Controllers(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatControllers(rows))
+
+	byName := map[string]ControllerResult{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+
+	// The PELS guarantee holds under every controller.
+	for _, r := range rows {
+		if r.MeanUtility < 0.9 {
+			t.Errorf("%s: utility %.3f < 0.9 — PELS guarantee broken", r.Name, r.MeanUtility)
+		}
+		// Yellow loss is a cumulative counter including each controller's
+		// startup transient; TFRC's slow equation-tracking convergence
+		// spills the most before γ adapts.
+		if r.YellowLoss > 0.2 {
+			t.Errorf("%s: yellow loss %.3f unexpectedly high", r.Name, r.YellowLoss)
+		}
+	}
+
+	// MKC and Kelly share the fixed point and stay smooth.
+	mkc, kelly := byName["mkc"], byName["kelly"]
+	if diff := mkc.RateMean - kelly.RateMean; diff > 50 || diff < -50 {
+		t.Errorf("MKC %.0f and Kelly %.0f should share the eq. (10) fixed point", mkc.RateMean, kelly.RateMean)
+	}
+	for _, name := range []string{"mkc", "kelly"} {
+		if r := byName[name]; r.RateStdDev > 40 {
+			t.Errorf("%s rate stddev %.1f, want smooth (< 40)", name, r.RateStdDev)
+		}
+	}
+
+	// AIMD oscillates far more than MKC (the paper's §5 contrast).
+	if aimd := byName["aimd"]; aimd.RateStdDev < 3*mkc.RateStdDev {
+		t.Errorf("AIMD stddev %.1f not well above MKC %.1f", aimd.RateStdDev, mkc.RateStdDev)
+	}
+
+	// The binomial family sits between MKC and AIMD in smoothness.
+	for _, name := range []string{"iiad", "sqrt"} {
+		r := byName[name]
+		if r.RateStdDev >= byName["aimd"].RateStdDev {
+			t.Errorf("%s stddev %.1f not below AIMD %.1f", name, r.RateStdDev, byName["aimd"].RateStdDev)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// TestFormattersRenderAllFields smoke-checks every experiment formatter on
+// synthetic results, so a formatting regression can't hide behind the slow
+// full-stack drivers.
+func TestFormattersRenderAllFields(t *testing.T) {
+	gamma := stats.NewTimeSeries("g")
+	gamma.Add(time.Second, 0.1)
+	f7 := FormatFigure7([]Figure7Run{{
+		NumFlows: 4, Gamma: gamma, RedLoss: gamma,
+		MeasuredLoss: 0.07, PredictedLoss: 0.074,
+		GammaTail: 0.1, GammaStar: 0.099, RedLossTail: 0.75, PThr: 0.75,
+	}})
+	for _, want := range []string{"loss(sim)", "0.0700", "0.75"} {
+		if !strings.Contains(f7, want) {
+			t.Errorf("FormatFigure7 missing %q:\n%s", want, f7)
+		}
+	}
+
+	f8 := FormatFigure8(&Figure8Result{
+		GreenMean: 5.1, YellowMean: 20.2, RedMean: 400.3, RedMax: 900,
+		RedStepMeans: []float64{100, 200},
+		GreenSummary: stats.DelaySummary{N: 10, P50: 5, P90: 8, P99: 9, Max: 10},
+		NumFlows:     10, Duration: 250 * time.Second,
+	})
+	for _, want := range []string{"green=5.10", "staircase", "100 ms, 200 ms", "p99"} {
+		if !strings.Contains(f8, want) {
+			t.Errorf("FormatFigure8 missing %q:\n%s", want, f8)
+		}
+	}
+
+	rates := stats.NewTimeSeries("r")
+	f9 := FormatFigure9(&Figure9Result{
+		Rates: []*stats.TimeSeries{rates}, F1Peak: 2000, Capacity: 2e6, FairRate: 1.04e6,
+		F1Tail: 1040, F2Tail: 1041, ConvergedAt: 23 * time.Second, JoinAt: 10 * time.Second,
+	})
+	for _, want := range []string{"F1 peak", "fair within 10%", "13.0s after"} {
+		if !strings.Contains(f9, want) {
+			t.Errorf("FormatFigure9 missing %q:\n%s", want, f9)
+		}
+	}
+	f9never := FormatFigure9(&Figure9Result{Rates: nil, ConvergedAt: -1})
+	if !strings.Contains(f9never, "did not reach") {
+		t.Errorf("FormatFigure9 without convergence:\n%s", f9never)
+	}
+
+	f10 := FormatFigure10([]Figure10Run{{
+		NumFlows: 2, TargetLoss: 0.107, PELSLoss: 0.106, BELoss: 0.11, Frames: 200,
+		BaseMean: 28.8, PELSMean: 46.6, BEMean: 34.7,
+		PELSImprove: 61, BEImprove: 21, PELSSwing: 12, BESwing: 23,
+		PELSUtility: 0.93, BEUtility: 0.11, PELSUseful: 63, BEUseful: 7,
+	}})
+	for _, want := range []string{"base-only", "best-effort", "PELS", "+61.0%"} {
+		if !strings.Contains(f10, want) {
+			t.Errorf("FormatFigure10 missing %q:\n%s", want, f10)
+		}
+	}
+
+	fa := FormatAblations([]AblationResult{{Name: "baseline", MeanUtility: 0.96, RedLoss: 0.72, RateMean: 543, RateStdDev: 15}})
+	if !strings.Contains(fa, "baseline") || !strings.Contains(fa, "0.960") {
+		t.Errorf("FormatAblations:\n%s", fa)
+	}
+
+	fm := FormatMultiBottleneck(&MultiBottleneckResult{
+		RateBefore: 644, WantBefore: 640, RateAfter: 348, WantAfter: 340,
+		IDBefore: 3, IDAfter: 2, R1ID: 2, R2ID: 3,
+	})
+	if !strings.Contains(fm, "before shift") || !strings.Contains(fm, "after shift") {
+		t.Errorf("FormatMultiBottleneck:\n%s", fm)
+	}
+
+	fu := FormatUtilization([]UtilizationResult{{Scheme: "pels", TransmittedBytes: 100, DeliveredBytes: 99, UsefulBytes: 98, UsefulUtilization: 0.98, DeliveredUtilization: 0.99}})
+	if !strings.Contains(fu, "useful/tx") || !strings.Contains(fu, "pels") {
+		t.Errorf("FormatUtilization:\n%s", fu)
+	}
+
+	fi := FormatIsolation(&IsolationResult{
+		PELSShare: 2000, InternetShare: 2000,
+		PELSSweep: []IsolationRow{{PELSFlows: 2, TCPFlows: 2, TCPGoodput: 1895, PELSThroughput: 2007}},
+		TCPSweep:  []IsolationRow{{PELSFlows: 2, TCPFlows: 4, TCPGoodput: 1614, PELSThroughput: 2006}},
+	})
+	if !strings.Contains(fi, "PELS-load sweep") || !strings.Contains(fi, "TCP-load sweep") {
+		t.Errorf("FormatIsolation:\n%s", fi)
+	}
+
+	fc := FormatControllers([]ControllerResult{{Name: "mkc", MeanUtility: 0.96, RateMean: 543, RateStdDev: 16, YellowLoss: 0.001}})
+	if !strings.Contains(fc, "mkc") {
+		t.Errorf("FormatControllers:\n%s", fc)
+	}
+
+	fr := FormatRTTFairness(&RTTFairnessResult{
+		Delays: []time.Duration{2 * time.Millisecond}, Rates: []float64{707},
+		FairRate: 707, JainIndex: 1,
+	})
+	if !strings.Contains(fr, "Jain index 1.0000") {
+		t.Errorf("FormatRTTFairness:\n%s", fr)
+	}
+
+	fmx := FormatMixedPopulation(&MixedPopulationResult{
+		Names: []string{"mkc"}, Rates: []float64{990}, Utilities: []float64{0.97}, FairRate: 540,
+	})
+	if !strings.Contains(fmx, "mkc") || !strings.Contains(fmx, "540") {
+		t.Errorf("FormatMixedPopulation:\n%s", fmx)
+	}
+
+	frd := FormatRDScaling(&RDScalingResult{ConstantMean: 46.5, RDMean: 46.2, ConstantStdDev: 3.9, RDStdDev: 3.3, ConstantSwing: 14.3, RDSwing: 11.8, ConstantRate: 1124, RDRate: 1120})
+	if !strings.Contains(frd, "rd-aware") || !strings.Contains(frd, "constant (paper)") {
+		t.Errorf("FormatRDScaling:\n%s", frd)
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/units"
+)
+
+// IsolationResult backs the paper's §6.1 claim that "the PELS and Internet
+// queues do not affect each other in any way": sweeping the number of PELS
+// flows must leave TCP goodput pinned at the Internet WRR share, and
+// sweeping TCP flows must leave the PELS aggregate pinned at its share.
+type IsolationResult struct {
+	// Rows of the PELS-load sweep: TCP goodput as video flows increase.
+	PELSSweep []IsolationRow
+	// Rows of the TCP-load sweep: PELS aggregate as TCP flows increase.
+	TCPSweep []IsolationRow
+	// InternetShare and PELSShare are the WRR allocations (kb/s).
+	InternetShare, PELSShare float64
+}
+
+// IsolationRow is one sweep point.
+type IsolationRow struct {
+	PELSFlows, TCPFlows int
+	// TCPGoodput is aggregate TCP delivery; PELSThroughput the aggregate
+	// video arrival rate at the bottleneck (both kb/s).
+	TCPGoodput, PELSThroughput float64
+}
+
+// IsolationConfig parameterizes the sweeps.
+type IsolationConfig struct {
+	PELSCounts []int
+	TCPCounts  []int
+	Duration   time.Duration
+	Seed       int64
+}
+
+// DefaultIsolationConfig sweeps both dimensions across the paper's scale.
+func DefaultIsolationConfig() IsolationConfig {
+	return IsolationConfig{
+		PELSCounts: []int{1, 2, 4, 8},
+		TCPCounts:  []int{1, 2, 4, 8},
+		Duration:   60 * time.Second,
+		Seed:       1,
+	}
+}
+
+// Isolation runs both sweeps.
+func Isolation(cfg IsolationConfig) (*IsolationResult, error) {
+	base := DefaultTestbedConfig()
+	res := &IsolationResult{
+		PELSShare:     base.PELSCapacity().KbpsValue(),
+		InternetShare: float64(base.BottleneckRate)/1000 - base.PELSCapacity().KbpsValue(),
+	}
+	run := func(nPELS, nTCP int) (IsolationRow, error) {
+		tcfg := DefaultTestbedConfig()
+		tcfg.Seed = cfg.Seed
+		tcfg.NumPELS = nPELS
+		tcfg.NumTCP = nTCP
+		tb, err := NewTestbed(tcfg)
+		if err != nil {
+			return IsolationRow{}, err
+		}
+		if err := tb.Run(cfg.Duration); err != nil {
+			return IsolationRow{}, err
+		}
+		row := IsolationRow{PELSFlows: nPELS, TCPFlows: nTCP}
+		var tcpBytes int64
+		for _, r := range tb.TCPReceivers {
+			tcpBytes += r.BytesDelivered()
+		}
+		row.TCPGoodput = units.RateFromBytes(tcpBytes, cfg.Duration).KbpsValue()
+		// PELS throughput measured over the second half via the router's
+		// rate series (arrivals at the bottleneck).
+		row.PELSThroughput = tb.FeedbackRate.MeanAfter(cfg.Duration / 2)
+		return row, nil
+	}
+
+	for _, n := range cfg.PELSCounts {
+		row, err := run(n, 2)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: isolation PELS sweep (n=%d): %w", n, err)
+		}
+		res.PELSSweep = append(res.PELSSweep, row)
+	}
+	for _, n := range cfg.TCPCounts {
+		row, err := run(2, n)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: isolation TCP sweep (n=%d): %w", n, err)
+		}
+		res.TCPSweep = append(res.TCPSweep, row)
+	}
+	return res, nil
+}
+
+// FormatIsolation renders both sweeps.
+func FormatIsolation(r *IsolationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "WRR shares: PELS %.0f kb/s, Internet %.0f kb/s\n", r.PELSShare, r.InternetShare)
+	fmt.Fprintf(&b, "PELS-load sweep (TCP goodput must hold at its share):\n")
+	for _, row := range r.PELSSweep {
+		fmt.Fprintf(&b, "  %d PELS flows: tcp=%.0f kb/s  pels=%.0f kb/s\n",
+			row.PELSFlows, row.TCPGoodput, row.PELSThroughput)
+	}
+	fmt.Fprintf(&b, "TCP-load sweep (PELS throughput must hold at its share):\n")
+	for _, row := range r.TCPSweep {
+		fmt.Fprintf(&b, "  %d TCP flows:  tcp=%.0f kb/s  pels=%.0f kb/s\n",
+			row.TCPFlows, row.TCPGoodput, row.PELSThroughput)
+	}
+	return b.String()
+}

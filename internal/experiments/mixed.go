@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/fgs"
+	"repro/internal/pels"
+)
+
+// MixedPopulationResult examines a deployment-realism question the paper
+// leaves open: what happens when PELS flows with *different* congestion
+// controllers share the same priority queues? MKC holds its stationary
+// rate; AIMD's multiplicative back-offs repeatedly hand it bandwidth, so
+// MKC flows end up with more than their fair share — but every flow's
+// utility stays protected because the γ/priority machinery is per-flow.
+type MixedPopulationResult struct {
+	// Names, Rates (kb/s tail means) and Utilities are indexed by flow.
+	Names     []string
+	Rates     []float64
+	Utilities []float64
+	// FairRate is what each flow would get in a homogeneous MKC
+	// population (eq. 10).
+	FairRate float64
+}
+
+// MixedPopulationConfig parameterizes the run: half the flows run MKC,
+// half AIMD.
+type MixedPopulationConfig struct {
+	FlowsPerKind int
+	Duration     time.Duration
+	Seed         int64
+}
+
+// DefaultMixedPopulationConfig uses 2+2 flows.
+func DefaultMixedPopulationConfig() MixedPopulationConfig {
+	return MixedPopulationConfig{FlowsPerKind: 2, Duration: 90 * time.Second, Seed: 1}
+}
+
+// MixedPopulation runs the heterogeneous-controller scenario.
+func MixedPopulation(cfg MixedPopulationConfig) (*MixedPopulationResult, error) {
+	n := 2 * cfg.FlowsPerKind
+	tcfg := DefaultTestbedConfig()
+	tcfg.Seed = cfg.Seed
+	tcfg.NumPELS = n
+	tcfg.SessionTweaks = make([]func(*pels.Config), n)
+	names := make([]string, n)
+	for i := 0; i < n; i++ {
+		if i < cfg.FlowsPerKind {
+			names[i] = "mkc"
+			continue // template default
+		}
+		names[i] = "aimd"
+		tcfg.SessionTweaks[i] = func(sc *pels.Config) {
+			sc.ControllerFactory = func() cc.Controller {
+				return cc.NewAIMD(cc.DefaultAIMDConfig())
+			}
+		}
+	}
+	tb, err := NewTestbed(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: mixed population: %w", err)
+	}
+	if err := tb.Run(cfg.Duration); err != nil {
+		return nil, fmt.Errorf("experiments: mixed population: %w", err)
+	}
+	res := &MixedPopulationResult{
+		Names:    names,
+		FairRate: tb.StationaryRate().KbpsValue(),
+	}
+	for i := 0; i < n; i++ {
+		res.Rates = append(res.Rates, tb.RateSeries[i].MeanAfter(cfg.Duration/2))
+		frames := tb.Sinks[i].Frames()
+		if len(frames) > 20 {
+			frames = frames[len(frames)/2:]
+		}
+		res.Utilities = append(res.Utilities, fgs.Aggregate(frames).MeanUtility)
+	}
+	return res, nil
+}
+
+// FormatMixedPopulation renders the result.
+func FormatMixedPopulation(r *MixedPopulationResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "homogeneous fair rate (eq. 10): %.0f kb/s\n", r.FairRate)
+	fmt.Fprintf(&b, "%-6s %-8s %-12s %-10s\n", "flow", "cc", "rate(kb/s)", "utility")
+	for i := range r.Names {
+		fmt.Fprintf(&b, "%-6d %-8s %-12.0f %-10.3f\n", i, r.Names[i], r.Rates[i], r.Utilities[i])
+	}
+	return b.String()
+}

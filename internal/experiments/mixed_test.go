@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// TestMixedPopulation examines MKC and AIMD flows sharing the PELS queues.
+// The outcome is lopsided and instructive: MKC's equilibrium keeps the
+// feedback loss p* positive at all times, and AIMD halves on *every*
+// positive-loss interval — persistent virtual loss reads to AIMD as
+// permanent congestion, so it collapses to base-layer-only streaming while
+// MKC flows absorb the freed bandwidth. (With episodic queue-overflow
+// loss, classic AIMD saws instead; the paper's "AIMD is unacceptable for
+// video" is an understatement under rate-based AQM feedback.) The PELS
+// guarantee is the invariant to check: every flow, including the starved
+// ones, keeps utility ≈ 1 — the base layer always gets through.
+func TestMixedPopulation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack simulation")
+	}
+	cfg := DefaultMixedPopulationConfig()
+	cfg.Duration = 60 * time.Second
+	res, err := MixedPopulation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatMixedPopulation(res))
+
+	for i, name := range res.Names {
+		if res.Utilities[i] < 0.9 {
+			t.Errorf("flow %d (%s): utility %.3f — PELS guarantee broken", i, name, res.Utilities[i])
+		}
+		switch name {
+		case "mkc":
+			if res.Rates[i] < res.FairRate {
+				t.Errorf("mkc flow %d rate %.0f below homogeneous fair %.0f — it should gain from AIMD's back-offs",
+					i, res.Rates[i], res.FairRate)
+			}
+		case "aimd":
+			if res.Rates[i] > res.FairRate/2 {
+				t.Errorf("aimd flow %d rate %.0f — expected collapse under persistent virtual loss", i, res.Rates[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMultiBottleneckShift verifies the §5.2 multi-router machinery: the
+// source follows the most congested router's feedback (max-min) and tracks
+// a bottleneck shift from R2 to R1.
+func TestMultiBottleneckShift(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack simulation")
+	}
+	res, err := MultiBottleneck(DefaultMultiBottleneckConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.RateBefore-res.WantBefore) > res.WantBefore*0.1 {
+		t.Errorf("rate before shift %.0f, want ~%.0f", res.RateBefore, res.WantBefore)
+	}
+	if math.Abs(res.RateAfter-res.WantAfter) > res.WantAfter*0.1 {
+		t.Errorf("rate after shift %.0f, want ~%.0f", res.RateAfter, res.WantAfter)
+	}
+	if res.IDBefore != res.R2ID {
+		t.Errorf("pre-shift feedback from router %d, want R2 (%d)", res.IDBefore, res.R2ID)
+	}
+	if res.IDAfter != res.R1ID {
+		t.Errorf("post-shift feedback from router %d, want R1 (%d)", res.IDAfter, res.R1ID)
+	}
+}

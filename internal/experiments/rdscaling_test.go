@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestRDScalingSmoothsQuality verifies the paper's §6.5 pointer: R-D-aware
+// rate scaling reduces PSNR fluctuation at the same average rate.
+func TestRDScalingSmoothsQuality(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack simulation")
+	}
+	cfg := DefaultRDScalingConfig()
+	cfg.Duration = 120 * time.Second
+	res, err := RDScaling(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatRDScaling(res))
+
+	if res.RDStdDev >= res.ConstantStdDev {
+		t.Errorf("rd-aware stddev %.2f not below constant %.2f", res.RDStdDev, res.ConstantStdDev)
+	}
+	if res.RDSwing > res.ConstantSwing {
+		t.Errorf("rd-aware swing %.1f above constant %.1f", res.RDSwing, res.ConstantSwing)
+	}
+	// Rate conservation: the scaler must not change the sending rate.
+	if math.Abs(res.RDRate-res.ConstantRate) > res.ConstantRate*0.02 {
+		t.Errorf("rd-aware rate %.0f deviates from constant %.0f", res.RDRate, res.ConstantRate)
+	}
+	// And it must not cost meaningful mean quality.
+	if res.RDMean < res.ConstantMean-0.5 {
+		t.Errorf("rd-aware mean %.2f dB sacrificed more than 0.5 dB vs %.2f", res.RDMean, res.ConstantMean)
+	}
+}

@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// RTTFairnessResult backs the paper's Lemma 6 corollary: "unlike AIMD or
+// TCP, MKC does not penalize flows with higher RTT". Flows with access
+// delays spanning an order of magnitude must converge to the same
+// stationary rate; TCP under the same spread splits throughput heavily in
+// favor of the short-RTT flow.
+type RTTFairnessResult struct {
+	// Delays are the per-flow one-way access delays; Rates the measured
+	// tail rates (kb/s); FairRate the common eq. (10) prediction.
+	Delays   []time.Duration
+	Rates    []float64
+	FairRate float64
+	// JainIndex is Jain's fairness index over the tail rates (1 = exactly
+	// fair).
+	JainIndex float64
+}
+
+// RTTFairnessConfig parameterizes the experiment.
+type RTTFairnessConfig struct {
+	Delays   []time.Duration
+	Duration time.Duration
+	Seed     int64
+}
+
+// DefaultRTTFairnessConfig spans a 20× one-way delay spread.
+func DefaultRTTFairnessConfig() RTTFairnessConfig {
+	return RTTFairnessConfig{
+		Delays: []time.Duration{
+			2 * time.Millisecond,
+			10 * time.Millisecond,
+			40 * time.Millisecond,
+		},
+		Duration: 90 * time.Second,
+		Seed:     1,
+	}
+}
+
+// RTTFairness runs heterogeneous-delay flows through the full stack.
+func RTTFairness(cfg RTTFairnessConfig) (*RTTFairnessResult, error) {
+	tcfg := DefaultTestbedConfig()
+	tcfg.Seed = cfg.Seed
+	tcfg.NumPELS = len(cfg.Delays)
+	tcfg.AccessDelays = cfg.Delays
+	tb, err := NewTestbed(tcfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: rtt fairness: %w", err)
+	}
+	if err := tb.Run(cfg.Duration); err != nil {
+		return nil, fmt.Errorf("experiments: rtt fairness: %w", err)
+	}
+	res := &RTTFairnessResult{
+		Delays:   cfg.Delays,
+		FairRate: tb.StationaryRate().KbpsValue(),
+	}
+	for _, rs := range tb.RateSeries {
+		res.Rates = append(res.Rates, rs.MeanAfter(cfg.Duration/2))
+	}
+	res.JainIndex = jain(res.Rates)
+	return res, nil
+}
+
+// jain computes Jain's fairness index (Σx)² / (n·Σx²).
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}
+
+// FormatRTTFairness renders the result.
+func FormatRTTFairness(r *RTTFairnessResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "fair stationary rate (eq. 10): %.0f kb/s, Jain index %.4f\n", r.FairRate, r.JainIndex)
+	for i, d := range r.Delays {
+		fmt.Fprintf(&b, "  flow %d: access delay %-6v rate %.0f kb/s\n", i, d, r.Rates[i])
+	}
+	return b.String()
+}

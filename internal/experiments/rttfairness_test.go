@@ -1,0 +1,31 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// TestRTTFairness verifies Lemma 6's corollary: MKC's stationary rate is
+// independent of the feedback delay, so flows with a 20× RTT spread share
+// the link exactly.
+func TestRTTFairness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack simulation")
+	}
+	cfg := DefaultRTTFairnessConfig()
+	cfg.Duration = 60 * time.Second
+	res, err := RTTFairness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + FormatRTTFairness(res))
+	if res.JainIndex < 0.999 {
+		t.Errorf("Jain index %.4f, want ≥ 0.999 (RTT-independent fairness)", res.JainIndex)
+	}
+	for i, r := range res.Rates {
+		if math.Abs(r-res.FairRate) > res.FairRate*0.05 {
+			t.Errorf("flow %d (delay %v): rate %.0f vs fair %.0f", i, res.Delays[i], r, res.FairRate)
+		}
+	}
+}

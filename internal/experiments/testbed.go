@@ -1,0 +1,360 @@
+// Package experiments contains the drivers that regenerate every table and
+// figure of the paper's evaluation (§6). Each driver builds the bar-bell
+// topology of Fig. 6 — multiple PELS and TCP sources sharing a single
+// bottleneck — runs the simulation, and returns the series the paper plots.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/aqm"
+	"repro/internal/cc"
+	"repro/internal/crosstraffic"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/pels"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcp"
+	"repro/internal/units"
+)
+
+// TestbedConfig describes one bar-bell simulation run.
+type TestbedConfig struct {
+	// Seed drives all randomness in the run.
+	Seed int64
+	// BottleneckRate is the shared link capacity (paper: 4 mb/s).
+	BottleneckRate units.BitRate
+	// AccessRate is the per-host access link capacity (paper: 10 mb/s).
+	AccessRate units.BitRate
+	// AccessDelay and BottleneckDelay are one-way propagation delays.
+	AccessDelay     time.Duration
+	BottleneckDelay time.Duration
+	// Bottleneck sizes the router queue structure.
+	Bottleneck aqm.BottleneckConfig
+	// FeedbackInterval is T (paper: 30 ms).
+	FeedbackInterval time.Duration
+	// Session is the template for every PELS flow (Flow is assigned per
+	// flow; Mode comes from BestEffort below).
+	Session pels.Config
+	// NumPELS is the number of video flows; StartTimes optionally sets
+	// per-flow start times (default: all at 0).
+	NumPELS    int
+	StartTimes []time.Duration
+	// AccessDelays optionally sets per-flow access-link delays (both the
+	// sender and receiver side), overriding AccessDelay; used by the
+	// RTT-fairness experiment. Missing entries fall back to AccessDelay.
+	AccessDelays []time.Duration
+	// SessionTweaks optionally customizes individual flows' session
+	// configs after the template is applied (heterogeneous populations:
+	// mixed controllers, frame intervals, γ settings). Indexed by flow;
+	// nil entries keep the template.
+	SessionTweaks []func(*pels.Config)
+	// NumTCP is the number of greedy TCP cross-traffic flows sharing the
+	// Internet queue (paper keeps the Internet half of the link loaded).
+	NumTCP int
+	// NumOnOff adds bursty non-responsive on-off sources to the Internet
+	// queue (exponential by default; set OnOffPareto for heavy tails).
+	NumOnOff    int
+	OnOffPareto float64
+	// BestEffort switches the whole run to the §6.5 baseline: unmarked
+	// enhancement layer and a uniform-random-drop video queue.
+	BestEffort bool
+	// GreenOnlyFeedback restricts feedback stamping to green packets — the
+	// design the paper rejects in §5.1 because base-layer packet spacing
+	// ages the feedback. Used by the ablation suite.
+	GreenOnlyFeedback bool
+}
+
+// DefaultTestbedConfig mirrors the paper's Fig. 6 setup.
+func DefaultTestbedConfig() TestbedConfig {
+	return TestbedConfig{
+		Seed:             1,
+		BottleneckRate:   4 * units.Mbps,
+		AccessRate:       10 * units.Mbps,
+		AccessDelay:      5 * time.Millisecond,
+		BottleneckDelay:  10 * time.Millisecond,
+		Bottleneck:       aqm.DefaultBottleneckConfig(),
+		FeedbackInterval: 30 * time.Millisecond,
+		Session:          pels.Config{},
+		NumPELS:          2,
+		NumTCP:           2,
+	}
+}
+
+// PELSCapacity returns the WRR share of the bottleneck available to video
+// traffic — the C used in the router's feedback computation.
+func (c TestbedConfig) PELSCapacity() units.BitRate {
+	total := c.Bottleneck.PELSWeight + c.Bottleneck.InternetWeight
+	if total <= 0 {
+		return c.BottleneckRate
+	}
+	return units.BitRate(float64(c.BottleneckRate) * c.Bottleneck.PELSWeight / total)
+}
+
+// Testbed is a constructed bar-bell simulation ready to run.
+type Testbed struct {
+	Cfg TestbedConfig
+	Eng *sim.Engine
+	Net *netsim.Network
+
+	// R1 is the bottleneck (feedback-computing) router; R2 the far side.
+	R1, R2 *netsim.Router
+	// Forward is the congested R1→R2 link; Reverse carries ACKs.
+	Forward, Reverse *netsim.Link
+	Feedback         *aqm.Feedback
+
+	// PELSQueues is non-nil for PELS runs; BEQueues for baseline runs.
+	PELSQueues *aqm.Bottleneck
+	BEQueues   *aqm.BestEffortBottleneck
+
+	Sources []*pels.Source
+	Sinks   []*pels.Sink
+
+	TCPSenders   []*tcp.Sender
+	TCPReceivers []*tcp.Receiver
+	OnOffSources []*crosstraffic.OnOff
+
+	// Delay series per color, sampled at bottleneck transmission time.
+	GreenDelay, YellowDelay, RedDelay *stats.TimeSeries
+	// FeedbackLoss records the router's p(k) series; FeedbackRate the
+	// measured aggregate arrival rate R(k) in kb/s.
+	FeedbackLoss, FeedbackRate *stats.TimeSeries
+	// RateSeries and GammaSeries are indexed by PELS flow.
+	RateSeries  []*stats.TimeSeries
+	GammaSeries []*stats.TimeSeries
+	// RedLossSeries samples the red queue's interval loss rate (PELS runs)
+	// or the video queue's loss rate (best-effort runs).
+	RedLossSeries *stats.TimeSeries
+	// VideoBytesTransmitted counts video (PELS + best-effort colored)
+	// bytes serialized onto the bottleneck — the denominator of useful
+	// link utilization.
+	VideoBytesTransmitted int64
+
+	redProbe  *sim.Ticker
+	prevRed   queue.Counters
+	prevVideo queue.Counters
+}
+
+// NewTestbed builds the topology, queues, flows, and instrumentation.
+func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
+	if cfg.NumPELS <= 0 {
+		return nil, fmt.Errorf("experiments: NumPELS must be positive, got %d", cfg.NumPELS)
+	}
+	if cfg.FeedbackInterval <= 0 {
+		cfg.FeedbackInterval = 30 * time.Millisecond
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	net := netsim.NewNetwork(eng)
+
+	tb := &Testbed{
+		Cfg:           cfg,
+		Eng:           eng,
+		Net:           net,
+		GreenDelay:    stats.NewTimeSeries("green_delay_ms"),
+		YellowDelay:   stats.NewTimeSeries("yellow_delay_ms"),
+		RedDelay:      stats.NewTimeSeries("red_delay_ms"),
+		FeedbackLoss:  stats.NewTimeSeries("feedback_loss"),
+		FeedbackRate:  stats.NewTimeSeries("feedback_rate_kbps"),
+		RedLossSeries: stats.NewTimeSeries("red_loss"),
+	}
+
+	tb.R1 = net.NewRouter("r1")
+	tb.R2 = net.NewRouter("r2")
+
+	// The feedback processor must exist before the bottleneck queues for
+	// best-effort runs (the oracle queue samples its loss).
+	tb.Feedback = aqm.NewFeedback(eng, aqm.FeedbackConfig{
+		RouterID:        tb.R1.ID(),
+		Interval:        cfg.FeedbackInterval,
+		Capacity:        cfg.PELSCapacity(),
+		StampBestEffort: cfg.BestEffort,
+		GreenOnly:       cfg.GreenOnlyFeedback,
+	})
+	tb.Feedback.OnCompute = func(_ uint64, rate units.BitRate, loss float64) {
+		tb.FeedbackLoss.Add(eng.Now(), loss)
+		tb.FeedbackRate.Add(eng.Now(), rate.KbpsValue())
+	}
+
+	// Bottleneck queue structure.
+	var disc queue.Discipline
+	if cfg.BestEffort {
+		tb.BEQueues = aqm.NewBestEffortBottleneck(cfg.Bottleneck, func() float64 {
+			if l := tb.Feedback.Loss(); l > 0 {
+				return l
+			}
+			return 0
+		}, eng.Rand())
+		disc = tb.BEQueues.Disc
+	} else {
+		tb.PELSQueues = aqm.NewBottleneck(cfg.Bottleneck)
+		disc = tb.PELSQueues.Disc
+	}
+
+	// Bottleneck duplex link R1<->R2. The reverse direction carries only
+	// ACKs and is served by a plain FIFO.
+	tb.Forward, tb.Reverse = net.Connect(tb.R1, tb.R2,
+		netsim.LinkConfig{Rate: cfg.BottleneckRate, Delay: cfg.BottleneckDelay, Disc: disc},
+		netsim.LinkConfig{Rate: cfg.BottleneckRate, Delay: cfg.BottleneckDelay},
+	)
+	// Feedback measures and stamps per bottleneck queue (the forward
+	// link), not per router — see netsim.Link.Proc.
+	tb.Forward.Proc = tb.Feedback
+	tb.Forward.OnTransmit = func(p *packet.Packet) {
+		ms := float64(p.QueueingDelay()) / float64(time.Millisecond)
+		switch p.Color {
+		case packet.Green:
+			tb.GreenDelay.Add(eng.Now(), ms)
+		case packet.Yellow:
+			tb.YellowDelay.Add(eng.Now(), ms)
+		case packet.Red:
+			tb.RedDelay.Add(eng.Now(), ms)
+		}
+		if p.Color.IsPELS() || p.Color == packet.BestEffort {
+			tb.VideoBytesTransmitted += int64(p.Size)
+		}
+	}
+
+	// Per-interval red-queue loss probe (Fig. 7 right).
+	tb.redProbe = sim.NewTicker(eng, cfg.FeedbackInterval*10, tb.probeRedLoss)
+	tb.redProbe.Start()
+
+	// Video flows.
+	accessCfg := netsim.LinkConfig{Rate: cfg.AccessRate, Delay: cfg.AccessDelay}
+	for i := 0; i < cfg.NumPELS; i++ {
+		scfg := cfg.Session
+		scfg.Flow = 100 + i
+		if cfg.BestEffort {
+			scfg.Mode = pels.ModeBestEffort
+		}
+		if i < len(cfg.SessionTweaks) && cfg.SessionTweaks[i] != nil {
+			cfg.SessionTweaks[i](&scfg)
+		}
+		srcHost := net.NewHost(fmt.Sprintf("s%d", i))
+		dstHost := net.NewHost(fmt.Sprintf("d%d", i))
+		flowAccess := accessCfg
+		if i < len(cfg.AccessDelays) {
+			flowAccess.Delay = cfg.AccessDelays[i]
+		}
+		net.Connect(srcHost, tb.R1, flowAccess, flowAccess)
+		net.Connect(tb.R2, dstHost, flowAccess, flowAccess)
+		src, sink, err := pels.Session(net, srcHost, dstHost, scfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: build flow %d: %w", i, err)
+		}
+		flow := i
+		rs := stats.NewTimeSeries(fmt.Sprintf("rate_kbps_f%d", flow))
+		gs := stats.NewTimeSeries(fmt.Sprintf("gamma_f%d", flow))
+		src.OnRate = func(at time.Duration, rate units.BitRate, _ float64) {
+			rs.Add(at, rate.KbpsValue())
+		}
+		src.OnGamma = func(at time.Duration, g float64) {
+			gs.Add(at, g)
+		}
+		tb.RateSeries = append(tb.RateSeries, rs)
+		tb.GammaSeries = append(tb.GammaSeries, gs)
+		tb.Sources = append(tb.Sources, src)
+		tb.Sinks = append(tb.Sinks, sink)
+	}
+
+	// TCP cross traffic.
+	for i := 0; i < cfg.NumTCP; i++ {
+		srcHost := net.NewHost(fmt.Sprintf("t%d", i))
+		dstHost := net.NewHost(fmt.Sprintf("u%d", i))
+		net.Connect(srcHost, tb.R1, accessCfg, accessCfg)
+		net.Connect(tb.R2, dstHost, accessCfg, accessCfg)
+		tcfg := tcp.DefaultConfig(500 + i)
+		recv := tcp.NewReceiver(net, dstHost, tcfg.Flow, tcfg.AckSize)
+		send := tcp.NewSender(net, srcHost, dstHost.ID(), tcfg)
+		tb.TCPSenders = append(tb.TCPSenders, send)
+		tb.TCPReceivers = append(tb.TCPReceivers, recv)
+	}
+
+	// Bursty non-responsive cross traffic.
+	for i := 0; i < cfg.NumOnOff; i++ {
+		srcHost := net.NewHost(fmt.Sprintf("o%d", i))
+		dstHost := net.NewHost(fmt.Sprintf("p%d", i))
+		net.Connect(srcHost, tb.R1, accessCfg, accessCfg)
+		net.Connect(tb.R2, dstHost, accessCfg, accessCfg)
+		ocfg := crosstraffic.DefaultOnOffConfig(700 + i)
+		ocfg.ParetoShape = cfg.OnOffPareto
+		tb.OnOffSources = append(tb.OnOffSources, crosstraffic.NewOnOff(net, srcHost, dstHost.ID(), ocfg))
+	}
+
+	if err := net.ComputeRoutes(); err != nil {
+		return nil, fmt.Errorf("experiments: routing: %w", err)
+	}
+	return tb, nil
+}
+
+func (tb *Testbed) probeRedLoss() {
+	var cur queue.Counters
+	if tb.PELSQueues != nil {
+		cur = tb.PELSQueues.PELS.ColorCounters(packet.Red)
+		prev := tb.prevRed
+		tb.prevRed = cur
+		dArr := cur.Arrived - prev.Arrived
+		dDrop := cur.Dropped - prev.Dropped
+		if dArr > 0 {
+			tb.RedLossSeries.Add(tb.Eng.Now(), float64(dDrop)/float64(dArr))
+		}
+		return
+	}
+	cur = tb.BEQueues.Video.Counters
+	prev := tb.prevVideo
+	tb.prevVideo = cur
+	dArr := cur.Arrived - prev.Arrived
+	dDrop := cur.Dropped - prev.Dropped
+	if dArr > 0 {
+		tb.RedLossSeries.Add(tb.Eng.Now(), float64(dDrop)/float64(dArr))
+	}
+}
+
+// Run starts all flows and executes the simulation for the given duration.
+func (tb *Testbed) Run(duration time.Duration) error {
+	for i, src := range tb.Sources {
+		start := time.Duration(0)
+		if i < len(tb.Cfg.StartTimes) {
+			start = tb.Cfg.StartTimes[i]
+		}
+		src.Start(start)
+	}
+	for _, s := range tb.TCPSenders {
+		s.Start(0)
+	}
+	for _, o := range tb.OnOffSources {
+		o.Start(0)
+	}
+	if err := tb.Eng.RunUntil(duration); err != nil {
+		return fmt.Errorf("experiments: run: %w", err)
+	}
+	return nil
+}
+
+// MeasuredPELSLoss returns the average feedback loss after warmup (clamped
+// at zero — negative feedback means spare capacity, not loss).
+func (tb *Testbed) MeasuredPELSLoss(warmup time.Duration) float64 {
+	sub := tb.FeedbackLoss.After(warmup)
+	if len(sub) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range sub {
+		if s.Value > 0 {
+			sum += s.Value
+		}
+	}
+	return sum / float64(len(sub))
+}
+
+// StationaryRate returns the closed-form MKC equilibrium rate for this
+// testbed (paper eq. 10).
+func (tb *Testbed) StationaryRate() units.BitRate {
+	m := tb.Cfg.Session.MKC
+	if m == (cc.MKCConfig{}) {
+		m = cc.DefaultMKCConfig()
+	}
+	return m.StationaryRate(tb.Cfg.PELSCapacity(), tb.Cfg.NumPELS)
+}

@@ -1,0 +1,179 @@
+package fgs
+
+import (
+	"sort"
+)
+
+// FrameResult summarizes one decoded frame: what arrived, and how much of
+// it is useful. Enhancement packets are useful only as a consecutive prefix
+// starting right after the base layer (paper §3.1): the first gap renders
+// all later enhancement data undecodable.
+type FrameResult struct {
+	Frame        int
+	BaseComplete bool
+	// RecvBase and RecvEnh count received packets per layer.
+	RecvBase int
+	RecvEnh  int
+	// UsefulEnh is the length of the consecutive received enhancement
+	// prefix (0 if the base layer is incomplete — nothing can be enhanced
+	// without it).
+	UsefulEnh int
+	// MaxIndex is the highest packet index received for this frame.
+	MaxIndex int
+}
+
+// Utility returns the per-frame utility: useful enhancement packets over
+// received enhancement packets (paper eq. 3 numerator/denominator at frame
+// granularity). A frame with no received enhancement packets has utility 1
+// by convention (nothing was wasted).
+func (r FrameResult) Utility() float64 {
+	if r.RecvEnh == 0 {
+		return 1
+	}
+	return float64(r.UsefulEnh) / float64(r.RecvEnh)
+}
+
+// UsefulBytes returns the decodable enhancement payload given the packet
+// size.
+func (r FrameResult) UsefulBytes(packetSize int) int {
+	if !r.BaseComplete {
+		return 0
+	}
+	return r.UsefulEnh * packetSize
+}
+
+// Decoder reassembles frames from received packet (frame, index) pairs and
+// computes useful-prefix statistics. It tolerates arbitrary reordering.
+type Decoder struct {
+	spec   FrameSpec
+	frames map[int]*frameState
+}
+
+type frameState struct {
+	received []bool
+	count    int
+	maxIndex int
+}
+
+// NewDecoder returns a decoder for streams packetized with spec.
+func NewDecoder(spec FrameSpec) (*Decoder, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Decoder{spec: spec, frames: make(map[int]*frameState)}, nil
+}
+
+// MustNewDecoder is NewDecoder that panics on invalid specs.
+func MustNewDecoder(spec FrameSpec) *Decoder {
+	d, err := NewDecoder(spec)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Receive records the arrival of the packet at (frame, index). Duplicate
+// and out-of-range indices are ignored.
+func (d *Decoder) Receive(frame, index int) {
+	if index < 0 || index >= d.spec.TotalPackets || frame < 0 {
+		return
+	}
+	st := d.frames[frame]
+	if st == nil {
+		st = &frameState{received: make([]bool, d.spec.TotalPackets), maxIndex: -1}
+		d.frames[frame] = st
+	}
+	if st.received[index] {
+		return
+	}
+	st.received[index] = true
+	st.count++
+	if index > st.maxIndex {
+		st.maxIndex = index
+	}
+}
+
+// Frame finalizes and returns the result for one frame. Frames never seen
+// return a zero-valued result for that frame number.
+func (d *Decoder) Frame(frame int) FrameResult {
+	st := d.frames[frame]
+	res := FrameResult{Frame: frame, MaxIndex: -1}
+	if st == nil {
+		return res
+	}
+	res.MaxIndex = st.maxIndex
+	g := d.spec.GreenPackets
+	res.BaseComplete = true
+	for i := 0; i < g; i++ {
+		if st.received[i] {
+			res.RecvBase++
+		} else {
+			res.BaseComplete = false
+		}
+	}
+	for i := g; i < d.spec.TotalPackets; i++ {
+		if st.received[i] {
+			res.RecvEnh++
+		}
+	}
+	if res.BaseComplete {
+		for i := g; i < d.spec.TotalPackets && st.received[i]; i++ {
+			res.UsefulEnh++
+		}
+	}
+	return res
+}
+
+// Frames returns results for every frame seen, ordered by frame number.
+func (d *Decoder) Frames() []FrameResult {
+	nums := make([]int, 0, len(d.frames))
+	for f := range d.frames {
+		nums = append(nums, f)
+	}
+	sort.Ints(nums)
+	out := make([]FrameResult, 0, len(nums))
+	for _, f := range nums {
+		out = append(out, d.Frame(f))
+	}
+	return out
+}
+
+// Spec returns the decoder's frame specification.
+func (d *Decoder) Spec() FrameSpec { return d.spec }
+
+// StreamStats aggregates utility over a set of frame results.
+type StreamStats struct {
+	Frames        int
+	BaseComplete  int
+	RecvEnhTotal  int
+	UsefulTotal   int
+	MeanUseful    float64
+	MeanUtility   float64 // mean of per-frame utilities
+	AggregateUtil float64 // total useful / total received enhancement
+}
+
+// Aggregate computes stream-level statistics from frame results.
+func Aggregate(frames []FrameResult) StreamStats {
+	var s StreamStats
+	s.Frames = len(frames)
+	if s.Frames == 0 {
+		return s
+	}
+	var utilSum float64
+	for _, f := range frames {
+		if f.BaseComplete {
+			s.BaseComplete++
+		}
+		s.RecvEnhTotal += f.RecvEnh
+		s.UsefulTotal += f.UsefulEnh
+		utilSum += f.Utility()
+	}
+	s.MeanUseful = float64(s.UsefulTotal) / float64(s.Frames)
+	s.MeanUtility = utilSum / float64(s.Frames)
+	if s.RecvEnhTotal > 0 {
+		s.AggregateUtil = float64(s.UsefulTotal) / float64(s.RecvEnhTotal)
+	} else {
+		s.AggregateUtil = 1
+	}
+	return s
+}

@@ -1,0 +1,181 @@
+package fgs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func smallSpec() FrameSpec {
+	return FrameSpec{PacketSize: 100, TotalPackets: 10, GreenPackets: 2}
+}
+
+func TestDecoderPerfectFrame(t *testing.T) {
+	d := MustNewDecoder(smallSpec())
+	for i := 0; i < 10; i++ {
+		d.Receive(0, i)
+	}
+	r := d.Frame(0)
+	if !r.BaseComplete || r.RecvBase != 2 || r.RecvEnh != 8 || r.UsefulEnh != 8 {
+		t.Errorf("perfect frame result = %+v", r)
+	}
+	if r.Utility() != 1 {
+		t.Errorf("utility = %v, want 1", r.Utility())
+	}
+}
+
+func TestDecoderUsefulPrefixStopsAtGap(t *testing.T) {
+	d := MustNewDecoder(smallSpec())
+	// Base complete; enhancement indices 2,3,4 received, 5 missing, 6-9 received.
+	for _, i := range []int{0, 1, 2, 3, 4, 6, 7, 8, 9} {
+		d.Receive(0, i)
+	}
+	r := d.Frame(0)
+	if r.UsefulEnh != 3 {
+		t.Errorf("UsefulEnh = %d, want 3 (prefix before the gap)", r.UsefulEnh)
+	}
+	if r.RecvEnh != 7 {
+		t.Errorf("RecvEnh = %d, want 7", r.RecvEnh)
+	}
+	if got, want := r.Utility(), 3.0/7; math.Abs(got-want) > 1e-12 {
+		t.Errorf("utility = %v, want %v", got, want)
+	}
+}
+
+func TestDecoderIncompleteBaseYieldsNoUseful(t *testing.T) {
+	d := MustNewDecoder(smallSpec())
+	// Missing base packet 1; enhancement all received.
+	d.Receive(0, 0)
+	for i := 2; i < 10; i++ {
+		d.Receive(0, i)
+	}
+	r := d.Frame(0)
+	if r.BaseComplete {
+		t.Error("BaseComplete = true with missing base packet")
+	}
+	if r.UsefulEnh != 0 {
+		t.Errorf("UsefulEnh = %d, want 0 without a complete base", r.UsefulEnh)
+	}
+	if r.UsefulBytes(100) != 0 {
+		t.Error("UsefulBytes != 0 without base")
+	}
+}
+
+func TestDecoderReorderingTolerated(t *testing.T) {
+	d := MustNewDecoder(smallSpec())
+	for _, i := range []int{9, 3, 0, 7, 1, 2, 4, 5, 6, 8} {
+		d.Receive(0, i)
+	}
+	r := d.Frame(0)
+	if r.UsefulEnh != 8 {
+		t.Errorf("UsefulEnh = %d after reordered arrival, want 8", r.UsefulEnh)
+	}
+}
+
+func TestDecoderDuplicatesAndOutOfRangeIgnored(t *testing.T) {
+	d := MustNewDecoder(smallSpec())
+	d.Receive(0, 0)
+	d.Receive(0, 0)
+	d.Receive(0, -1)
+	d.Receive(0, 10)
+	d.Receive(-1, 0)
+	r := d.Frame(0)
+	if r.RecvBase != 1 {
+		t.Errorf("RecvBase = %d, want 1", r.RecvBase)
+	}
+	if len(d.Frames()) != 1 {
+		t.Errorf("Frames() length = %d, want 1", len(d.Frames()))
+	}
+}
+
+func TestDecoderUnknownFrame(t *testing.T) {
+	d := MustNewDecoder(smallSpec())
+	r := d.Frame(42)
+	if r.Frame != 42 || r.RecvBase != 0 || r.MaxIndex != -1 {
+		t.Errorf("unknown frame result = %+v", r)
+	}
+}
+
+func TestDecoderFramesSorted(t *testing.T) {
+	d := MustNewDecoder(smallSpec())
+	for _, f := range []int{5, 1, 3} {
+		d.Receive(f, 0)
+	}
+	frames := d.Frames()
+	if len(frames) != 3 || frames[0].Frame != 1 || frames[1].Frame != 3 || frames[2].Frame != 5 {
+		t.Errorf("Frames() order = %v", frames)
+	}
+}
+
+func TestUtilityConventionForEmptyEnhancement(t *testing.T) {
+	r := FrameResult{RecvEnh: 0}
+	if r.Utility() != 1 {
+		t.Errorf("empty-enhancement utility = %v, want 1", r.Utility())
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	frames := []FrameResult{
+		{Frame: 0, BaseComplete: true, RecvEnh: 10, UsefulEnh: 10},
+		{Frame: 1, BaseComplete: true, RecvEnh: 10, UsefulEnh: 5},
+		{Frame: 2, BaseComplete: false, RecvEnh: 10, UsefulEnh: 0},
+	}
+	s := Aggregate(frames)
+	if s.Frames != 3 || s.BaseComplete != 2 {
+		t.Errorf("counts = %+v", s)
+	}
+	if s.UsefulTotal != 15 || s.RecvEnhTotal != 30 {
+		t.Errorf("totals = %+v", s)
+	}
+	if math.Abs(s.AggregateUtil-0.5) > 1e-12 {
+		t.Errorf("AggregateUtil = %v, want 0.5", s.AggregateUtil)
+	}
+	if math.Abs(s.MeanUtility-0.5) > 1e-12 {
+		t.Errorf("MeanUtility = %v, want 0.5", s.MeanUtility)
+	}
+	if math.Abs(s.MeanUseful-5) > 1e-12 {
+		t.Errorf("MeanUseful = %v, want 5", s.MeanUseful)
+	}
+}
+
+func TestAggregateEmpty(t *testing.T) {
+	s := Aggregate(nil)
+	if s.Frames != 0 || s.AggregateUtil != 0 {
+		t.Errorf("empty aggregate = %+v", s)
+	}
+}
+
+// TestDecoderPrefixProperty: UsefulEnh is always the length of the longest
+// received run starting at the first enhancement index, never more than
+// RecvEnh, and zero when any base packet is missing.
+func TestDecoderPrefixProperty(t *testing.T) {
+	spec := smallSpec()
+	f := func(mask uint16) bool {
+		d := MustNewDecoder(spec)
+		received := make([]bool, spec.TotalPackets)
+		for i := 0; i < spec.TotalPackets; i++ {
+			if mask&(1<<i) != 0 {
+				received[i] = true
+				d.Receive(0, i)
+			}
+		}
+		r := d.Frame(0)
+		if r.UsefulEnh > r.RecvEnh {
+			return false
+		}
+		baseOK := received[0] && received[1]
+		if !baseOK {
+			return r.UsefulEnh == 0 && !r.BaseComplete
+		}
+		want := 0
+		for i := spec.GreenPackets; i < spec.TotalPackets && received[i]; i++ {
+			want++
+		}
+		return r.UsefulEnh == want
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(23))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,266 @@
+package fgs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/packet"
+)
+
+func TestFrameSpecDerivedSizes(t *testing.T) {
+	s := DefaultFrameSpec()
+	if s.BaseBytes() != 10500 {
+		t.Errorf("BaseBytes = %d, want 10500", s.BaseBytes())
+	}
+	if s.EnhPackets() != 105 {
+		t.Errorf("EnhPackets = %d, want 105", s.EnhPackets())
+	}
+	if s.MaxEnhBytes() != 52500 {
+		t.Errorf("MaxEnhBytes = %d, want 52500", s.MaxEnhBytes())
+	}
+	if s.FrameBytes() != 63000 {
+		t.Errorf("FrameBytes = %d, want 63000", s.FrameBytes())
+	}
+}
+
+func TestFrameSpecRates(t *testing.T) {
+	s := DefaultFrameSpec()
+	// 63000 B per 500 ms = 1.008 mb/s.
+	if got := s.MaxRate(500 * time.Millisecond); math.Abs(got.KbpsValue()-1008) > 1e-9 {
+		t.Errorf("MaxRate = %v, want 1008 kb/s", got)
+	}
+	if got := s.BaseRate(500 * time.Millisecond); math.Abs(got.KbpsValue()-168) > 1e-9 {
+		t.Errorf("BaseRate = %v, want 168 kb/s", got)
+	}
+}
+
+func TestFrameSpecValidate(t *testing.T) {
+	bad := []FrameSpec{
+		{PacketSize: 0, TotalPackets: 10, GreenPackets: 1},
+		{PacketSize: 500, TotalPackets: 0, GreenPackets: 0},
+		{PacketSize: 500, TotalPackets: 10, GreenPackets: 11},
+		{PacketSize: 500, TotalPackets: 10, GreenPackets: -1},
+	}
+	for _, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+	if err := DefaultFrameSpec().Validate(); err != nil {
+		t.Errorf("default spec invalid: %v", err)
+	}
+}
+
+func TestGammaConvergesToFixedPoint(t *testing.T) {
+	// Lemma 4: with stationary loss p, γ → p/p_thr.
+	g := MustNewGamma(DefaultGammaConfig())
+	for i := 0; i < 100; i++ {
+		g.Update(0.15)
+	}
+	want := 0.15 / 0.75
+	if math.Abs(g.Value()-want) > 1e-6 {
+		t.Errorf("gamma = %v, want %v", g.Value(), want)
+	}
+}
+
+func TestGammaDecaysToFloorWithoutLoss(t *testing.T) {
+	g := MustNewGamma(DefaultGammaConfig())
+	for i := 0; i < 50; i++ {
+		g.Update(-0.5) // negative feedback = spare capacity
+	}
+	if g.Value() != 0.05 {
+		t.Errorf("gamma = %v, want floor 0.05", g.Value())
+	}
+}
+
+func TestGammaClampUpper(t *testing.T) {
+	g := MustNewGamma(DefaultGammaConfig())
+	for i := 0; i < 50; i++ {
+		g.Update(0.9) // p/p_thr = 1.2 → clamp at 1
+	}
+	if g.Value() != 1 {
+		t.Errorf("gamma = %v, want clamp at 1", g.Value())
+	}
+}
+
+// TestGammaStabilityLemma: for any σ in (0,2) and loss p, the clamp-free
+// controller converges to p/p_thr (Lemmas 2-4); for σ > 2 it diverges.
+func TestGammaStabilityLemma(t *testing.T) {
+	f := func(sigmaRaw, lossRaw uint8) bool {
+		sigma := 0.05 + 1.9*float64(sigmaRaw)/256 // (0.05, 1.95)
+		p := 0.7 * float64(lossRaw) / 255         // [0, 0.7]
+		g := MustNewGamma(GammaConfig{Sigma: sigma, PThr: 0.75, Initial: 0.5, Clamp: false})
+		for i := 0; i < 3000; i++ {
+			g.Update(p)
+		}
+		return math.Abs(g.Value()-p/0.75) < 1e-3
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(21))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+
+	// σ = 3 diverges (|1−σ| = 2 > 1).
+	g := MustNewGamma(GammaConfig{Sigma: 3, PThr: 0.75, Initial: 0.05, Clamp: false})
+	for i := 0; i < 30; i++ {
+		g.Update(0.5)
+	}
+	if math.Abs(g.Value()) < 100 {
+		t.Errorf("sigma=3 controller did not diverge: gamma = %v", g.Value())
+	}
+}
+
+func TestGammaNegativeLossTreatedAsZero(t *testing.T) {
+	g := MustNewGamma(GammaConfig{Sigma: 0.5, PThr: 0.75, Initial: 0.5, Clamp: false})
+	g2 := MustNewGamma(GammaConfig{Sigma: 0.5, PThr: 0.75, Initial: 0.5, Clamp: false})
+	g.Update(-2)
+	g2.Update(0)
+	if g.Value() != g2.Value() {
+		t.Errorf("Update(-2) = %v, Update(0) = %v; negative loss must clamp to 0", g.Value(), g2.Value())
+	}
+}
+
+func TestGammaConfigValidation(t *testing.T) {
+	bad := []GammaConfig{
+		{Sigma: 0.5, PThr: 0, Initial: 0.5},
+		{Sigma: 0.5, PThr: 1.5, Initial: 0.5},
+		{Sigma: 0.5, PThr: 0.75, Initial: 0.5, Clamp: true, Min: 0.9, Max: 0.1},
+		{Sigma: 0.5, PThr: 0.75, Initial: 0.5, Clamp: true, Min: -0.1, Max: 1},
+	}
+	for _, cfg := range bad {
+		if _, err := NewGamma(cfg); err == nil {
+			t.Errorf("NewGamma(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+func TestGammaStationaryPoint(t *testing.T) {
+	cfg := DefaultGammaConfig()
+	if got := cfg.StationaryPoint(0.15); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("StationaryPoint = %v, want 0.2", got)
+	}
+}
+
+func TestPacketizerPlanBudget(t *testing.T) {
+	pk := MustNewPacketizer(DefaultFrameSpec())
+	// Budget for base + 40 enhancement packets.
+	budget := 10500 + 40*500
+	plan := pk.Plan(0, budget, 0)
+	if plan.Green != 21 {
+		t.Errorf("Green = %d, want 21", plan.Green)
+	}
+	if plan.EnhPackets() != 40 {
+		t.Errorf("enhancement packets = %d, want 40", plan.EnhPackets())
+	}
+	if plan.Red != 0 || plan.Yellow != 40 {
+		t.Errorf("gamma=0 plan: yellow/red = %d/%d, want 40/0", plan.Yellow, plan.Red)
+	}
+}
+
+func TestPacketizerBaseAlwaysSent(t *testing.T) {
+	pk := MustNewPacketizer(DefaultFrameSpec())
+	plan := pk.Plan(0, 0, 0.5)
+	if plan.Green != 21 || plan.EnhPackets() != 0 {
+		t.Errorf("zero-budget plan = %+v, want base only", plan)
+	}
+}
+
+func TestPacketizerBudgetCapAtRmax(t *testing.T) {
+	pk := MustNewPacketizer(DefaultFrameSpec())
+	plan := pk.Plan(0, 10_000_000, 0)
+	if plan.Total() != 126 {
+		t.Errorf("plan total = %d, want full frame 126", plan.Total())
+	}
+}
+
+func TestPacketizerRedShareSemantics(t *testing.T) {
+	pk := MustNewPacketizer(DefaultFrameSpec())
+	budget := 10500 + 100*500 // base + 100 enh packets → 121 total
+	gamma := 0.2
+
+	enh := pk.PlanShare(0, budget, gamma, RedShareEnhancement)
+	if enh.Red != 20 {
+		t.Errorf("enhancement share: red = %d, want 20 (0.2×100)", enh.Red)
+	}
+	tot := pk.PlanShare(0, budget, gamma, RedShareTotal)
+	if tot.Red != 24 {
+		t.Errorf("total share: red = %d, want 24 (0.2×121 rounded)", tot.Red)
+	}
+	for _, p := range []PacketPlan{enh, tot} {
+		if p.Green+p.Yellow+p.Red != 121 {
+			t.Errorf("plan does not conserve packets: %+v", p)
+		}
+	}
+}
+
+func TestPacketizerAtLeastOneRedProbe(t *testing.T) {
+	pk := MustNewPacketizer(DefaultFrameSpec())
+	plan := pk.Plan(0, 10500+3*500, 0.01)
+	if plan.Red != 1 {
+		t.Errorf("red = %d, want 1 probe even for tiny gamma", plan.Red)
+	}
+}
+
+func TestPacketizerRedClippedToEnhancement(t *testing.T) {
+	pk := MustNewPacketizer(DefaultFrameSpec())
+	// High gamma with small enhancement: red can never exceed enh count.
+	plan := pk.PlanShare(0, 10500+5*500, 0.9, RedShareTotal)
+	if plan.Red != 5 || plan.Yellow != 0 {
+		t.Errorf("plan = %+v, want all 5 enh packets red", plan)
+	}
+}
+
+func TestPlanColorLayout(t *testing.T) {
+	plan := PacketPlan{Green: 2, Yellow: 3, Red: 2}
+	want := []packet.Color{packet.Green, packet.Green, packet.Yellow, packet.Yellow, packet.Yellow, packet.Red, packet.Red}
+	for i, w := range want {
+		if got := plan.Color(i); got != w {
+			t.Errorf("Color(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+// TestPacketizerInvariants: for any budget and gamma, plans conserve
+// packets, never exceed the budget by more than the base layer, and keep
+// red within the enhancement.
+func TestPacketizerInvariants(t *testing.T) {
+	pk := MustNewPacketizer(DefaultFrameSpec())
+	spec := pk.Spec()
+	f := func(budgetRaw uint32, gammaRaw uint8, overTotal bool) bool {
+		budget := int(budgetRaw % 100000)
+		gamma := float64(gammaRaw) / 255
+		share := RedShareEnhancement
+		if overTotal {
+			share = RedShareTotal
+		}
+		plan := pk.PlanShare(0, budget, gamma, share)
+		if plan.Green != spec.GreenPackets {
+			return false
+		}
+		if plan.Yellow < 0 || plan.Red < 0 {
+			return false
+		}
+		if plan.EnhPackets() > spec.EnhPackets() {
+			return false
+		}
+		// The enhancement never exceeds what the budget allows.
+		if plan.EnhPackets() > 0 && plan.EnhPackets()*spec.PacketSize > budget-spec.BaseBytes() {
+			return false
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(17))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlanBytes(t *testing.T) {
+	plan := PacketPlan{Green: 21, Yellow: 50, Red: 10}
+	if got := plan.Bytes(500); got != 81*500 {
+		t.Errorf("Bytes = %d, want %d", got, 81*500)
+	}
+}

@@ -1,0 +1,69 @@
+// Package fgs models MPEG-4 Fine Granular Scalability streaming as used by
+// the PELS framework (paper §2.3, §4.2): fixed-size video frames consisting
+// of a base layer and an FGS enhancement layer, rate scaling that transmits
+// a prefix of each enhancement frame, partitioning of that prefix into
+// yellow and red priority segments controlled by γ, and receiver-side
+// reassembly with useful-prefix decoding.
+package fgs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/units"
+)
+
+// FrameSpec describes the packetization of one video frame. The paper's
+// simulations use CIF Foreman numbers: 126 packets of 500 bytes per frame
+// (63,000 bytes including the base layer), of which 21 are green
+// (base-layer) packets.
+type FrameSpec struct {
+	// PacketSize is the size of every video packet in bytes.
+	PacketSize int
+	// TotalPackets is the number of packets in a full-rate (R_max) frame,
+	// including the base layer.
+	TotalPackets int
+	// GreenPackets is the number of base-layer packets per frame.
+	GreenPackets int
+}
+
+// DefaultFrameSpec returns the paper's CIF Foreman packetization.
+func DefaultFrameSpec() FrameSpec {
+	return FrameSpec{PacketSize: 500, TotalPackets: 126, GreenPackets: 21}
+}
+
+// Validate reports configuration errors.
+func (s FrameSpec) Validate() error {
+	if s.PacketSize <= 0 {
+		return fmt.Errorf("fgs: packet size must be positive, got %d", s.PacketSize)
+	}
+	if s.TotalPackets <= 0 {
+		return fmt.Errorf("fgs: total packets must be positive, got %d", s.TotalPackets)
+	}
+	if s.GreenPackets < 0 || s.GreenPackets > s.TotalPackets {
+		return fmt.Errorf("fgs: green packets %d outside [0,%d]", s.GreenPackets, s.TotalPackets)
+	}
+	return nil
+}
+
+// BaseBytes returns the base-layer size per frame.
+func (s FrameSpec) BaseBytes() int { return s.GreenPackets * s.PacketSize }
+
+// EnhPackets returns the number of enhancement packets in a full frame.
+func (s FrameSpec) EnhPackets() int { return s.TotalPackets - s.GreenPackets }
+
+// MaxEnhBytes returns the full enhancement-layer size per frame (R_max).
+func (s FrameSpec) MaxEnhBytes() int { return s.EnhPackets() * s.PacketSize }
+
+// FrameBytes returns the full frame size including the base layer.
+func (s FrameSpec) FrameBytes() int { return s.TotalPackets * s.PacketSize }
+
+// BaseRate returns the base-layer bitrate at the given frame interval.
+func (s FrameSpec) BaseRate(interval time.Duration) units.BitRate {
+	return units.RateFromBytes(int64(s.BaseBytes()), interval)
+}
+
+// MaxRate returns R_max, the full-frame bitrate at the given interval.
+func (s FrameSpec) MaxRate(interval time.Duration) units.BitRate {
+	return units.RateFromBytes(int64(s.FrameBytes()), interval)
+}

@@ -1,0 +1,94 @@
+package fgs
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func TestConstantScaler(t *testing.T) {
+	s := ConstantScaler{}
+	got := s.Budget(0, 1008*units.Kbps, 500*time.Millisecond)
+	if got != 63000 {
+		t.Errorf("Budget = %d, want 63000", got)
+	}
+}
+
+func TestRDScalerNilComplexityFallsBack(t *testing.T) {
+	s := NewRDScaler(nil)
+	got := s.Budget(0, 1008*units.Kbps, 500*time.Millisecond)
+	if got != 63000 {
+		t.Errorf("Budget = %d, want 63000", got)
+	}
+}
+
+func TestRDScalerBoostsComplexFrames(t *testing.T) {
+	// Alternating complexity 1 and 2: after the running mean settles,
+	// complex frames must get more bytes than simple ones.
+	s := NewRDScaler(func(frame int) float64 {
+		if frame%2 == 0 {
+			return 1
+		}
+		return 2
+	})
+	rate := 1000 * units.Kbps
+	var simple, complexB int
+	for f := 0; f < 200; f++ {
+		b := s.Budget(f, rate, 100*time.Millisecond)
+		if f > 100 {
+			if f%2 == 0 {
+				simple += b
+			} else {
+				complexB += b
+			}
+		}
+	}
+	if complexB <= simple {
+		t.Errorf("complex frames got %d bytes vs simple %d; want more", complexB, simple)
+	}
+}
+
+func TestRDScalerConservesAverageBudget(t *testing.T) {
+	s := NewRDScaler(func(frame int) float64 {
+		return 1 + 0.8*math.Sin(float64(frame)/5)
+	})
+	rate := 1000 * units.Kbps
+	interval := 100 * time.Millisecond
+	nominal := rate.BytesIn(interval)
+	total := 0
+	const frames = 2000
+	for f := 0; f < frames; f++ {
+		total += s.Budget(f, rate, interval)
+	}
+	avg := float64(total) / frames
+	if math.Abs(avg-float64(nominal)) > float64(nominal)*0.02 {
+		t.Errorf("average budget %.0f, want ~%d (conservation)", avg, nominal)
+	}
+}
+
+func TestRDScalerBoundsBoost(t *testing.T) {
+	s := NewRDScaler(func(int) float64 { return 1 })
+	s.MaxBoost = 1.5
+	// One wildly complex frame after a settled mean must be clamped.
+	rate := 1000 * units.Kbps
+	interval := 100 * time.Millisecond
+	nominal := rate.BytesIn(interval)
+	for f := 0; f < 100; f++ {
+		s.Budget(f, rate, interval)
+	}
+	s.Complexity = func(int) float64 { return 1000 }
+	got := s.Budget(100, rate, interval)
+	if got > 2*nominal {
+		t.Errorf("boosted budget %d exceeds 2× nominal %d despite clamp", got, nominal)
+	}
+}
+
+func TestRDScalerZeroComplexityTreatedAsOne(t *testing.T) {
+	s := NewRDScaler(func(int) float64 { return 0 })
+	got := s.Budget(0, 1000*units.Kbps, 100*time.Millisecond)
+	if got <= 0 {
+		t.Errorf("Budget = %d with zero complexity", got)
+	}
+}

@@ -1,0 +1,129 @@
+// Package netsim provides the network substrate of the simulator: hosts,
+// routers, unidirectional rate/delay links with pluggable queueing
+// disciplines, and static shortest-path routing. It is the Go equivalent of
+// the ns2 machinery the paper's evaluation ran on.
+package netsim
+
+import (
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Receiver consumes packets delivered by a link.
+type Receiver interface {
+	Receive(p *packet.Packet)
+}
+
+// Link is a unidirectional link: packets are queued in the attached
+// discipline, serialized at the link rate, and delivered to the destination
+// after the propagation delay. The link transmits at most one packet at a
+// time and is work-conserving.
+type Link struct {
+	Name string
+
+	eng   *sim.Engine
+	rate  units.BitRate
+	delay time.Duration
+	disc  queue.Discipline
+	dst   Receiver
+	busy  bool
+
+	transmittedPkts  int64
+	transmittedBytes int64
+
+	// Proc, if non-nil, processes every packet offered to this link
+	// before it is enqueued (drops included — the PELS arrival counter S
+	// counts offered traffic, paper eq. 11). This is the correct
+	// attachment point for per-output-queue AQM like the PELS feedback:
+	// a router-level processor would also see traffic that leaves through
+	// other, uncongested ports.
+	Proc Processor
+
+	// OnEnqueue fires after a packet was accepted by the discipline;
+	// OnDrop fires when the discipline rejected it; OnTransmit fires when
+	// a packet starts transmission (after leaving the queue). Hooks are
+	// used by experiments to record per-color delay and loss series.
+	OnEnqueue  func(p *packet.Packet)
+	OnDrop     func(p *packet.Packet)
+	OnTransmit func(p *packet.Packet)
+}
+
+// NewLink creates a link feeding dst. The discipline owns buffering and
+// drop policy; rate must be positive.
+func NewLink(eng *sim.Engine, name string, rate units.BitRate, delay time.Duration, disc queue.Discipline, dst Receiver) *Link {
+	if rate <= 0 {
+		panic("netsim: link rate must be positive")
+	}
+	if disc == nil {
+		disc = queue.NewDropTail(0, 0)
+	}
+	return &Link{Name: name, eng: eng, rate: rate, delay: delay, disc: disc, dst: dst}
+}
+
+// Send offers a packet to the link's queue and starts transmission if the
+// link is idle.
+func (l *Link) Send(p *packet.Packet) {
+	if l.Proc != nil {
+		l.Proc.Process(p)
+	}
+	p.Enqueued = l.eng.Now()
+	if !l.disc.Enqueue(p) {
+		if l.OnDrop != nil {
+			l.OnDrop(p)
+		}
+		return
+	}
+	if l.OnEnqueue != nil {
+		l.OnEnqueue(p)
+	}
+	if !l.busy {
+		l.transmitNext()
+	}
+}
+
+func (l *Link) transmitNext() {
+	p := l.disc.Dequeue()
+	if p == nil {
+		l.busy = false
+		return
+	}
+	l.busy = true
+	p.Dequeued = l.eng.Now()
+	if l.OnTransmit != nil {
+		l.OnTransmit(p)
+	}
+	tx := l.rate.TransmissionTime(p.Size)
+	l.eng.Schedule(tx, func() {
+		l.transmittedPkts++
+		l.transmittedBytes += int64(p.Size)
+		l.eng.Schedule(l.delay, func() { l.dst.Receive(p) })
+		l.transmitNext()
+	})
+}
+
+// Rate returns the link's capacity.
+func (l *Link) Rate() units.BitRate { return l.rate }
+
+// Delay returns the link's one-way propagation delay.
+func (l *Link) Delay() time.Duration { return l.delay }
+
+// Discipline returns the attached queueing discipline.
+func (l *Link) Discipline() queue.Discipline { return l.disc }
+
+// TransmittedPackets returns the number of packets fully serialized.
+func (l *Link) TransmittedPackets() int64 { return l.transmittedPkts }
+
+// TransmittedBytes returns the number of bytes fully serialized.
+func (l *Link) TransmittedBytes() int64 { return l.transmittedBytes }
+
+// Utilization returns the fraction of capacity used over elapsed time.
+func (l *Link) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.transmittedBytes) * 8 / (float64(l.rate) * elapsed.Seconds())
+}

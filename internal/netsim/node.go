@@ -1,0 +1,131 @@
+package netsim
+
+import (
+	"repro/internal/packet"
+	"repro/internal/sim"
+)
+
+// Node is a network element with an identity that can receive packets.
+type Node interface {
+	Receiver
+	ID() int
+	Name() string
+}
+
+// Processor inspects or mutates packets traversing a router (e.g. the PELS
+// feedback stamper, paper §5.2). Process runs on packet arrival, before the
+// packet is enqueued on its outgoing link.
+type Processor interface {
+	Process(p *packet.Packet)
+}
+
+// App consumes packets addressed to a host. Sources and sinks (PELS
+// senders, video receivers, TCP endpoints) implement App.
+type App interface {
+	HandlePacket(p *packet.Packet)
+}
+
+// Host is an end system with a single uplink and a set of flow-addressed
+// applications.
+type Host struct {
+	id     int
+	name   string
+	eng    *sim.Engine
+	uplink *Link
+	apps   map[int]App
+
+	// DefaultApp, if set, receives packets whose flow has no registered
+	// app (useful for promiscuous monitors).
+	DefaultApp App
+}
+
+var _ Node = (*Host)(nil)
+
+// ID implements Node.
+func (h *Host) ID() int { return h.id }
+
+// Name implements Node.
+func (h *Host) Name() string { return h.name }
+
+// Attach registers app to receive packets of the given flow.
+func (h *Host) Attach(flowID int, app App) { h.apps[flowID] = app }
+
+// Detach removes the app registered for the flow, if any.
+func (h *Host) Detach(flowID int) { delete(h.apps, flowID) }
+
+// SetUplink points the host's default route at l.
+func (h *Host) SetUplink(l *Link) { h.uplink = l }
+
+// Uplink returns the host's outgoing link.
+func (h *Host) Uplink() *Link { return h.uplink }
+
+// Send stamps the packet with source identity and creation time and pushes
+// it onto the uplink. It panics if the host has no uplink, which indicates
+// a topology construction bug.
+func (h *Host) Send(p *packet.Packet) {
+	if h.uplink == nil {
+		panic("netsim: host " + h.name + " has no uplink")
+	}
+	p.Src = h.id
+	p.Created = h.eng.Now()
+	h.uplink.Send(p)
+}
+
+// Receive implements Receiver: packets are demultiplexed to apps by flow.
+func (h *Host) Receive(p *packet.Packet) {
+	if app, ok := h.apps[p.FlowID]; ok {
+		app.HandlePacket(p)
+		return
+	}
+	if h.DefaultApp != nil {
+		h.DefaultApp.HandlePacket(p)
+	}
+}
+
+// Router forwards packets by destination node using a static routing table
+// filled in by Network.ComputeRoutes. Registered processors run on every
+// arriving packet before forwarding.
+type Router struct {
+	id     int
+	name   string
+	routes map[int]*Link
+	procs  []Processor
+
+	forwarded int64
+	noRoute   int64
+}
+
+var _ Node = (*Router)(nil)
+
+// ID implements Node.
+func (r *Router) ID() int { return r.id }
+
+// Name implements Node.
+func (r *Router) Name() string { return r.name }
+
+// AddProcessor appends a packet processor to the router's pipeline.
+func (r *Router) AddProcessor(p Processor) { r.procs = append(r.procs, p) }
+
+// SetRoute installs or replaces the outgoing link for the destination node.
+func (r *Router) SetRoute(dst int, l *Link) { r.routes[dst] = l }
+
+// Receive implements Receiver.
+func (r *Router) Receive(p *packet.Packet) {
+	for _, proc := range r.procs {
+		proc.Process(p)
+	}
+	link, ok := r.routes[p.Dst]
+	if !ok {
+		r.noRoute++
+		return
+	}
+	r.forwarded++
+	link.Send(p)
+}
+
+// Forwarded returns the number of packets forwarded.
+func (r *Router) Forwarded() int64 { return r.forwarded }
+
+// NoRoute returns the number of packets discarded for lack of a route; a
+// non-zero value in an experiment indicates a topology bug.
+func (r *Router) NoRoute() int64 { return r.noRoute }

@@ -1,0 +1,120 @@
+// Package packet defines the packet model shared by all simulator layers:
+// priority colors for the PELS framework, the in-band congestion feedback
+// header (paper §5.2), and video frame tagging used by the FGS decoder.
+package packet
+
+import (
+	"fmt"
+	"time"
+)
+
+// Color is a PELS priority class. Green carries the base layer, yellow the
+// lower (protected) part of the FGS enhancement layer, and red the upper
+// part that acts as congestion probes. Best-effort marks non-PELS
+// multimedia traffic (the baseline in §3.1) and TCP marks Internet-queue
+// cross traffic. ACKs travel the reverse path and are never queued in PELS
+// priority queues.
+type Color int
+
+// Priority classes, in decreasing order of importance.
+const (
+	Green Color = iota + 1
+	Yellow
+	Red
+	BestEffort
+	TCP
+	ACK
+)
+
+var colorNames = map[Color]string{
+	Green:      "green",
+	Yellow:     "yellow",
+	Red:        "red",
+	BestEffort: "best-effort",
+	TCP:        "tcp",
+	ACK:        "ack",
+}
+
+// String returns the lower-case color name.
+func (c Color) String() string {
+	if s, ok := colorNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("color(%d)", int(c))
+}
+
+// IsPELS reports whether the color belongs to one of the three PELS
+// priority queues.
+func (c Color) IsPELS() bool { return c == Green || c == Yellow || c == Red }
+
+// Feedback is the congestion feedback label (router ID, epoch z, packet
+// loss p) inserted by PELS routers into the header of every passing packet
+// (paper §5.2). When multiple routers sit on the path, each overrides the
+// label only if its own loss is larger, providing max-min feedback from the
+// most congested resource (paper eq. 8).
+type Feedback struct {
+	RouterID int
+	Epoch    uint64
+	Loss     float64
+	Valid    bool
+}
+
+// Merge returns the feedback a router with (routerID, epoch, loss) should
+// leave in a packet currently carrying f: the router overrides the label
+// only when the packet has no label yet, when the label is its own (epoch
+// refresh), or when its loss exceeds the recorded one.
+func (f Feedback) Merge(routerID int, epoch uint64, loss float64) Feedback {
+	if !f.Valid || f.RouterID == routerID || loss > f.Loss {
+		return Feedback{RouterID: routerID, Epoch: epoch, Loss: loss, Valid: true}
+	}
+	return f
+}
+
+// Packet is a simulated network packet. Packets are passed by pointer and
+// mutated in place by routers (feedback stamping) exactly once per hop.
+type Packet struct {
+	ID     uint64
+	FlowID int
+	Src    int
+	Dst    int
+	Size   int // bytes, including headers
+	Color  Color
+
+	// Video tagging: which FGS frame this packet belongs to and its
+	// position within the frame (0-based). Index counts all packets of
+	// the frame, base layer first.
+	Frame int
+	Index int
+
+	// Feedback is the PELS congestion label carried in the header.
+	Feedback Feedback
+
+	// AckedFeedback carries the receiver's most recent feedback label back
+	// to the source inside an ACK packet.
+	AckedFeedback Feedback
+
+	// TCPSeq is the byte sequence number for TCP segments; TCPAck is the
+	// cumulative acknowledgment number carried by TCP ACKs.
+	TCPSeq int64
+	TCPAck int64
+
+	// Timestamps recorded by the simulator, all in simulation time.
+	Created  time.Duration // when the source emitted the packet
+	Enqueued time.Duration // when the packet entered the bottleneck queue
+	Dequeued time.Duration // when the packet left the bottleneck queue
+}
+
+// QueueingDelay returns the time the packet spent in the last queue it
+// traversed, or 0 if it was never queued.
+func (p *Packet) QueueingDelay() time.Duration {
+	if p.Dequeued < p.Enqueued {
+		return 0
+	}
+	return p.Dequeued - p.Enqueued
+}
+
+// String renders a compact description for logs and test failures.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{id=%d flow=%d %s %dB frame=%d idx=%d}",
+		p.ID, p.FlowID, p.Color, p.Size, p.Frame, p.Index)
+}

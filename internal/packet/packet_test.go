@@ -1,0 +1,116 @@
+package packet
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestColorString(t *testing.T) {
+	tests := []struct {
+		c    Color
+		want string
+	}{
+		{Green, "green"},
+		{Yellow, "yellow"},
+		{Red, "red"},
+		{BestEffort, "best-effort"},
+		{TCP, "tcp"},
+		{ACK, "ack"},
+		{Color(99), "color(99)"},
+	}
+	for _, tt := range tests {
+		if got := tt.c.String(); got != tt.want {
+			t.Errorf("Color(%d).String() = %q, want %q", int(tt.c), got, tt.want)
+		}
+	}
+}
+
+func TestColorIsPELS(t *testing.T) {
+	pels := map[Color]bool{Green: true, Yellow: true, Red: true}
+	for _, c := range []Color{Green, Yellow, Red, BestEffort, TCP, ACK} {
+		if got := c.IsPELS(); got != pels[c] {
+			t.Errorf("%v.IsPELS() = %v, want %v", c, got, pels[c])
+		}
+	}
+}
+
+func TestFeedbackMergeFirstLabelAlwaysWins(t *testing.T) {
+	var f Feedback
+	got := f.Merge(3, 7, 0.25)
+	want := Feedback{RouterID: 3, Epoch: 7, Loss: 0.25, Valid: true}
+	if got != want {
+		t.Errorf("Merge on empty = %+v, want %+v", got, want)
+	}
+}
+
+func TestFeedbackMergeSameRouterRefreshes(t *testing.T) {
+	f := Feedback{RouterID: 3, Epoch: 7, Loss: 0.5, Valid: true}
+	got := f.Merge(3, 8, 0.1)
+	if got.Epoch != 8 || got.Loss != 0.1 {
+		t.Errorf("same-router merge = %+v, want epoch 8 loss 0.1", got)
+	}
+}
+
+func TestFeedbackMergeMaxLossWinsAcrossRouters(t *testing.T) {
+	f := Feedback{RouterID: 1, Epoch: 100, Loss: 0.3, Valid: true}
+	if got := f.Merge(2, 5, 0.2); got.RouterID != 1 {
+		t.Errorf("lower-loss router overrode label: %+v", got)
+	}
+	if got := f.Merge(2, 5, 0.4); got.RouterID != 2 || got.Loss != 0.4 {
+		t.Errorf("higher-loss router did not override: %+v", got)
+	}
+}
+
+// TestFeedbackMergeProperty: the resulting label is always valid and its
+// loss is never smaller than both inputs (max-min propagation keeps the
+// most congested resource visible).
+func TestFeedbackMergeProperty(t *testing.T) {
+	f := func(r1, r2 uint8, e1, e2 uint16, l1, l2 float64) bool {
+		l1, l2 = clampUnit(l1), clampUnit(l2)
+		f := Feedback{RouterID: int(r1), Epoch: uint64(e1), Loss: l1, Valid: true}
+		got := f.Merge(int(r2), uint64(e2), l2)
+		if !got.Valid {
+			return false
+		}
+		if r1 != r2 && got.Loss < l1 && got.Loss < l2 {
+			return false
+		}
+		// Label must come from one of the two routers.
+		return got.RouterID == int(r1) || got.RouterID == int(r2)
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampUnit(v float64) float64 {
+	if v != v || v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+func TestQueueingDelay(t *testing.T) {
+	p := &Packet{Enqueued: 10 * time.Millisecond, Dequeued: 35 * time.Millisecond}
+	if got := p.QueueingDelay(); got != 25*time.Millisecond {
+		t.Errorf("QueueingDelay = %v, want 25ms", got)
+	}
+	never := &Packet{Enqueued: 10 * time.Millisecond}
+	if got := never.QueueingDelay(); got != 0 {
+		t.Errorf("QueueingDelay for unqueued packet = %v, want 0", got)
+	}
+}
+
+func TestPacketString(t *testing.T) {
+	p := &Packet{ID: 7, FlowID: 100, Color: Yellow, Size: 500, Frame: 3, Index: 42}
+	want := "pkt{id=7 flow=100 yellow 500B frame=3 idx=42}"
+	if got := p.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}

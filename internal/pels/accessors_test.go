@@ -1,0 +1,156 @@
+package pels
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fgs"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+func TestSessionAccessorsAndByteAccounting(t *testing.T) {
+	r := newRig(t, Config{Flow: 42}, 2*units.Mbps)
+	r.src.Start(0)
+	if err := r.eng.RunUntil(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.src.Flow() != 42 {
+		t.Errorf("Flow = %d", r.src.Flow())
+	}
+	if r.src.BytesSent() != r.src.PacketsSent()*500 {
+		t.Errorf("BytesSent %d != packets %d × 500", r.src.BytesSent(), r.src.PacketsSent())
+	}
+	if r.sink.BytesReceived() != r.sink.PacketsReceived()*500 {
+		t.Errorf("BytesReceived %d != packets %d × 500", r.sink.BytesReceived(), r.sink.PacketsReceived())
+	}
+	if r.sink.BytesReceived() > r.src.BytesSent() {
+		t.Error("sink received more than source sent")
+	}
+	if r.sink.Decoder() == nil {
+		t.Error("Decoder() = nil")
+	}
+	if r.sink.Decoder().Spec() != (Config{}).WithDefaults().Frame {
+		t.Error("decoder spec mismatch")
+	}
+}
+
+func TestSessionConstructorErrors(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netsim.NewNetwork(eng)
+	h1 := nw.NewHost("a")
+	h2 := nw.NewHost("b")
+	bad := Config{Flow: 1, Frame: fgs.FrameSpec{PacketSize: -1, TotalPackets: 1}}
+	if _, _, err := Session(nw, h1, h2, bad); err == nil {
+		t.Error("Session accepted an invalid frame spec")
+	}
+	if _, err := NewSource(nw, h1, h2.ID(), bad); err == nil {
+		t.Error("NewSource accepted an invalid frame spec")
+	}
+	if _, err := NewSink(nw, h2, bad); err == nil {
+		t.Error("NewSink accepted an invalid frame spec")
+	}
+	badGamma := Config{Flow: 1, Gamma: fgs.GammaConfig{Sigma: 1, PThr: -1}}
+	if _, err := NewSource(nw, h1, h2.ID(), badGamma); err == nil {
+		t.Error("NewSource accepted an invalid gamma config")
+	}
+	if _, err := NewPlayout(fgs.FrameSpec{PacketSize: -1}, time.Second, time.Second); err == nil {
+		t.Error("NewPlayout accepted an invalid frame spec")
+	}
+}
+
+func TestSinkIgnoresAckColoredData(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netsim.NewNetwork(eng)
+	h := nw.NewHost("dst")
+	r := nw.NewRouter("r")
+	nw.Connect(h, r, netsim.LinkConfig{Rate: units.Mbps}, netsim.LinkConfig{Rate: units.Mbps})
+	sink, err := NewSink(nw, h, Config{Flow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.HandlePacket(nw.NewPacket(1, h.ID(), 40, packet.ACK))
+	if sink.PacketsReceived() != 0 {
+		t.Error("sink counted an ACK as data")
+	}
+}
+
+func TestSinkFeedbackUpdateRules(t *testing.T) {
+	eng := sim.NewEngine(1)
+	nw := netsim.NewNetwork(eng)
+	h := nw.NewHost("dst")
+	r := nw.NewRouter("r")
+	nw.Connect(h, r, netsim.LinkConfig{Rate: units.Mbps}, netsim.LinkConfig{Rate: units.Mbps})
+	sink, err := NewSink(nw, h, Config{Flow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	send := func(fb packet.Feedback) {
+		p := nw.NewPacket(1, h.ID(), 500, packet.Yellow)
+		p.Feedback = fb
+		sink.HandlePacket(p)
+	}
+	// Invalid feedback never replaces anything.
+	send(packet.Feedback{})
+	if sink.LatestFeedback().Valid {
+		t.Error("invalid feedback stored")
+	}
+	// First valid label sticks.
+	send(packet.Feedback{RouterID: 1, Epoch: 3, Loss: 0.1, Valid: true})
+	// Different router with lower loss does not override...
+	send(packet.Feedback{RouterID: 2, Epoch: 9, Loss: 0.05, Valid: true})
+	if got := sink.LatestFeedback(); got.RouterID != 1 {
+		t.Errorf("lower-loss router overrode: %+v", got)
+	}
+	// ...but a different router with higher loss does (max-min).
+	send(packet.Feedback{RouterID: 2, Epoch: 9, Loss: 0.5, Valid: true})
+	if got := sink.LatestFeedback(); got.RouterID != 2 {
+		t.Errorf("higher-loss router did not override: %+v", got)
+	}
+}
+
+func TestSourceDoubleStartIgnored(t *testing.T) {
+	r := newRig(t, Config{Flow: 1}, 2*units.Mbps)
+	r.src.Start(0)
+	r.src.Start(0) // second start must be a no-op, not a double stream
+	if err := r.eng.RunUntil(2 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// At R_max the source emits at most ~2 s / 3.97 ms ≈ 504 packets; a
+	// doubled stream would blow past that.
+	if sent := r.src.PacketsSent(); sent > 520 {
+		t.Errorf("sent %d packets, double-start suspected", sent)
+	}
+}
+
+func TestSourceStartAfterStopIgnored(t *testing.T) {
+	r := newRig(t, Config{Flow: 1}, 2*units.Mbps)
+	r.src.Stop()
+	r.src.Start(0)
+	if err := r.eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if r.src.PacketsSent() != 0 {
+		t.Error("stopped source restarted")
+	}
+}
+
+func TestSourceIgnoresForeignPackets(t *testing.T) {
+	r := newRig(t, Config{Flow: 1}, 2*units.Mbps)
+	// A data-colored packet delivered to the source app is not feedback.
+	p := r.nw.NewPacket(1, 0, 500, packet.Yellow)
+	p.AckedFeedback = packet.Feedback{RouterID: 1, Epoch: 1, Loss: 0.5, Valid: true}
+	before := r.src.Rate()
+	r.src.HandlePacket(p)
+	if r.src.Rate() != before {
+		t.Error("source reacted to a non-ACK packet")
+	}
+	// An ACK without valid feedback is also ignored.
+	ack := r.nw.NewPacket(1, 0, 40, packet.ACK)
+	r.src.HandlePacket(ack)
+	if r.src.Rate() != before {
+		t.Error("source reacted to an ACK without feedback")
+	}
+}

@@ -1,0 +1,213 @@
+package pels
+
+import (
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/fgs"
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/sim"
+	"repro/internal/units"
+)
+
+// Source is the sending side of a streaming session. At each frame
+// boundary it asks the congestion controller for the current rate, sizes
+// the frame's byte budget x_i = r·interval, and partitions it with the γ
+// controller (paper Fig. 4 right); packets are then paced continuously at
+// the controller's rate. ACKs from the sink deliver router feedback to the
+// controller and the γ loop.
+type Source struct {
+	cfg  Config
+	eng  *sim.Engine
+	net  *netsim.Network
+	host *netsim.Host
+	dst  int
+
+	ctrl       cc.Controller
+	gamma      *fgs.Gamma
+	packetizer *fgs.Packetizer
+
+	frame   int
+	sent    []SentFrame
+	plan    fgs.PacketPlan
+	nextIdx int
+	emitEv  *sim.Event
+	started bool
+	stopped bool
+
+	pktsSent  int64
+	bytesSent int64
+
+	// OnRate, if non-nil, fires on every accepted rate update with the
+	// new rate and the feedback loss that produced it.
+	OnRate func(at time.Duration, rate units.BitRate, loss float64)
+	// OnGamma, if non-nil, fires on every γ update.
+	OnGamma func(at time.Duration, gamma float64)
+}
+
+var _ netsim.App = (*Source)(nil)
+
+// NewSource builds a source on host streaming to the node dst. The source
+// registers itself for the flow's ACKs on host.
+func NewSource(net *netsim.Network, host *netsim.Host, dst int, cfg Config) (*Source, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	var ctrl cc.Controller
+	switch {
+	case cfg.ControllerFactory != nil:
+		ctrl = cfg.ControllerFactory()
+	case cfg.Controller != nil:
+		ctrl = cfg.Controller
+	}
+	if ctrl == nil {
+		ctrl = cc.NewMKC(cfg.MKC)
+	}
+	gamma, err := fgs.NewGamma(cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := fgs.NewPacketizer(cfg.Frame)
+	if err != nil {
+		return nil, err
+	}
+	s := &Source{
+		cfg:        cfg,
+		eng:        net.Engine(),
+		net:        net,
+		host:       host,
+		dst:        dst,
+		ctrl:       ctrl,
+		gamma:      gamma,
+		packetizer: pk,
+	}
+	host.Attach(cfg.Flow, s)
+	return s, nil
+}
+
+// Start begins streaming at the given simulation time (first frame sent
+// immediately at that instant).
+func (s *Source) Start(at time.Duration) {
+	s.eng.At(at, func() {
+		if s.stopped || s.started {
+			return
+		}
+		s.started = true
+		s.planFrame()
+		s.emitNext()
+	})
+}
+
+// Stop halts streaming and cancels queued packet transmissions.
+func (s *Source) Stop() {
+	s.stopped = true
+	if s.emitEv != nil {
+		s.emitEv.Cancel()
+		s.emitEv = nil
+	}
+}
+
+// planFrame sizes the next video frame with the controller's current rate:
+// x_i = r(k) · frame interval, partitioned by the current γ (paper §4.2).
+// The frame is a data unit, not a time gate — the source streams packets
+// continuously and starts the next frame as soon as the current one is
+// fully transmitted, exactly like a streaming server whose rate-scaling
+// module picks x_i at each frame boundary. At a steady rate a frame takes
+// exactly one frame interval on the wire.
+func (s *Source) planFrame() {
+	rate := s.ctrl.Rate()
+	budget := s.cfg.Scaler.Budget(s.frame, rate, s.cfg.FrameInterval)
+	gamma := 0.0
+	if s.cfg.Mode == ModePELS {
+		gamma = s.gamma.Value()
+	}
+	s.plan = s.packetizer.PlanShare(s.frame, budget, gamma, s.cfg.RedShare)
+	s.nextIdx = 0
+	s.sent = append(s.sent, SentFrame{
+		Frame:  s.frame,
+		Plan:   s.plan,
+		Rate:   rate,
+		SentAt: s.eng.Now(),
+	})
+	s.frame++
+}
+
+// emitNext sends the next packet of the stream and schedules the following
+// one at the spacing implied by the current sending rate, so rate changes
+// take effect within one packet time (a slower actuator would turn the
+// feedback loop into a limit cycle).
+func (s *Source) emitNext() {
+	s.emitEv = nil
+	if s.stopped {
+		return
+	}
+	if s.nextIdx >= s.plan.Total() {
+		s.planFrame()
+		if s.plan.Total() == 0 {
+			// Degenerate spec (no packets to send); try again next frame
+			// interval rather than spinning.
+			s.emitEv = s.eng.Schedule(s.cfg.FrameInterval, s.emitNext)
+			return
+		}
+	}
+	index := s.nextIdx
+	s.nextIdx++
+	color := s.plan.Color(index)
+	if s.cfg.Mode == ModeBestEffort && color != packet.Green {
+		color = packet.BestEffort
+	}
+	p := s.net.NewPacket(s.cfg.Flow, s.dst, s.cfg.Frame.PacketSize, color)
+	p.Frame = s.plan.Frame
+	p.Index = index
+	s.pktsSent++
+	s.bytesSent += int64(p.Size)
+	s.host.Send(p)
+
+	spacing := s.ctrl.Rate().TransmissionTime(s.cfg.Frame.PacketSize)
+	s.emitEv = s.eng.Schedule(spacing, s.emitNext)
+}
+
+// HandlePacket implements netsim.App: ACKs carry router feedback back to
+// the source, driving both the rate controller and the γ loop.
+func (s *Source) HandlePacket(p *packet.Packet) {
+	if p.Color != packet.ACK || !p.AckedFeedback.Valid {
+		return
+	}
+	if !s.ctrl.OnFeedback(p.AckedFeedback) {
+		return // stale epoch: already reacted to this feedback
+	}
+	now := s.eng.Now()
+	if s.OnRate != nil {
+		s.OnRate(now, s.ctrl.Rate(), p.AckedFeedback.Loss)
+	}
+	if s.cfg.Mode == ModePELS {
+		g := s.gamma.Update(p.AckedFeedback.Loss)
+		if s.OnGamma != nil {
+			s.OnGamma(now, g)
+		}
+	}
+}
+
+// Rate returns the controller's current sending rate.
+func (s *Source) Rate() units.BitRate { return s.ctrl.Rate() }
+
+// Gamma returns the current red fraction γ.
+func (s *Source) Gamma() float64 { return s.gamma.Value() }
+
+// Controller exposes the congestion controller for inspection.
+func (s *Source) Controller() cc.Controller { return s.ctrl }
+
+// SentFrames returns the per-frame transmission records. The slice is
+// owned by the source; callers must not mutate it.
+func (s *Source) SentFrames() []SentFrame { return s.sent }
+
+// PacketsSent returns the number of data packets emitted.
+func (s *Source) PacketsSent() int64 { return s.pktsSent }
+
+// BytesSent returns the number of data bytes emitted.
+func (s *Source) BytesSent() int64 { return s.bytesSent }
+
+// Flow returns the session's flow ID.
+func (s *Source) Flow() int { return s.cfg.Flow }

@@ -1,0 +1,179 @@
+package queue
+
+import (
+	"math/rand"
+
+	"repro/internal/packet"
+)
+
+// REDConfig parameterizes a Random Early Detection queue (Floyd & Jacobson
+// 1993). The paper's best-effort analysis (§3.1) assumes routers that drop
+// packets uniformly at random with exponential burst tails — exactly the
+// behaviour RED is designed to produce — so RED is the drop model of the
+// best-effort baseline.
+type REDConfig struct {
+	// MinThresh and MaxThresh are the average-queue thresholds in packets.
+	MinThresh float64
+	MaxThresh float64
+	// MaxP is the drop probability at MaxThresh.
+	MaxP float64
+	// Weight is the EWMA weight for the average queue estimate.
+	Weight float64
+	// LimitPkts is the hard buffer size in packets.
+	LimitPkts int
+}
+
+// DefaultREDConfig returns the classic "gentle" configuration scaled to a
+// buffer of limitPkts packets.
+func DefaultREDConfig(limitPkts int) REDConfig {
+	return REDConfig{
+		MinThresh: float64(limitPkts) * 0.25,
+		MaxThresh: float64(limitPkts) * 0.75,
+		MaxP:      0.1,
+		Weight:    0.002,
+		LimitPkts: limitPkts,
+	}
+}
+
+// RED is a random-early-detection FIFO queue.
+type RED struct {
+	Counters
+
+	cfg REDConfig
+	rng *rand.Rand
+	q   fifo
+
+	avg   float64 // EWMA of queue length in packets
+	count int     // packets since last early drop
+
+	// ProtectGreen, when true, exempts green (base-layer) packets from
+	// early drops. The paper's best-effort comparison "magically" protects
+	// the base layer (§6.5); this switch implements that oracle.
+	ProtectGreen bool
+}
+
+var _ Discipline = (*RED)(nil)
+
+// NewRED returns a RED queue using rng for drop decisions.
+func NewRED(cfg REDConfig, rng *rand.Rand) *RED {
+	if cfg.LimitPkts <= 0 {
+		cfg.LimitPkts = 1
+	}
+	if cfg.MaxThresh <= cfg.MinThresh {
+		cfg.MaxThresh = cfg.MinThresh + 1
+	}
+	if cfg.Weight <= 0 || cfg.Weight > 1 {
+		cfg.Weight = 0.002
+	}
+	return &RED{cfg: cfg, rng: rng, count: -1}
+}
+
+// Enqueue implements Discipline.
+func (r *RED) Enqueue(p *packet.Packet) bool {
+	r.RecordArrival(p)
+	r.avg = (1-r.cfg.Weight)*r.avg + r.cfg.Weight*float64(r.q.len())
+
+	if r.q.len() >= r.cfg.LimitPkts {
+		r.RecordDrop(p)
+		return false
+	}
+	if r.shouldEarlyDrop(p) {
+		r.RecordDrop(p)
+		return false
+	}
+	r.q.push(p)
+	return true
+}
+
+func (r *RED) shouldEarlyDrop(p *packet.Packet) bool {
+	if r.ProtectGreen && p.Color == packet.Green {
+		return false
+	}
+	switch {
+	case r.avg < r.cfg.MinThresh:
+		r.count = -1
+		return false
+	case r.avg >= r.cfg.MaxThresh:
+		r.count = 0
+		return true
+	default:
+		r.count++
+		pb := r.cfg.MaxP * (r.avg - r.cfg.MinThresh) / (r.cfg.MaxThresh - r.cfg.MinThresh)
+		// Spread drops uniformly (Floyd's pa correction).
+		pa := pb / (1 - float64(r.count)*pb)
+		if pa < 0 || pa > 1 {
+			pa = 1
+		}
+		if r.rng.Float64() < pa {
+			r.count = 0
+			return true
+		}
+		return false
+	}
+}
+
+// Dequeue implements Discipline.
+func (r *RED) Dequeue() *packet.Packet {
+	p := r.q.pop()
+	if p != nil {
+		r.Dequeued++
+	}
+	return p
+}
+
+// Len implements Discipline.
+func (r *RED) Len() int { return r.q.len() }
+
+// Bytes implements Discipline.
+func (r *RED) Bytes() int { return r.q.bytes }
+
+// AvgQueue returns the current EWMA queue estimate (packets).
+func (r *RED) AvgQueue() float64 { return r.avg }
+
+// BernoulliDropper is an oracle discipline that drops each arriving packet
+// independently with a fixed probability, matching the Bernoulli loss model
+// of §3.1 exactly. Green packets are exempt when ProtectGreen is set. It is
+// used in model-validation experiments (Table 1) where the loss process —
+// not queue dynamics — is under study.
+type BernoulliDropper struct {
+	Counters
+
+	P            float64
+	ProtectGreen bool
+
+	rng *rand.Rand
+	q   fifo
+}
+
+var _ Discipline = (*BernoulliDropper)(nil)
+
+// NewBernoulliDropper returns an oracle queue dropping with probability p.
+func NewBernoulliDropper(p float64, protectGreen bool, rng *rand.Rand) *BernoulliDropper {
+	return &BernoulliDropper{P: p, ProtectGreen: protectGreen, rng: rng}
+}
+
+// Enqueue implements Discipline.
+func (b *BernoulliDropper) Enqueue(p *packet.Packet) bool {
+	b.RecordArrival(p)
+	if !(b.ProtectGreen && p.Color == packet.Green) && b.rng.Float64() < b.P {
+		b.RecordDrop(p)
+		return false
+	}
+	b.q.push(p)
+	return true
+}
+
+// Dequeue implements Discipline.
+func (b *BernoulliDropper) Dequeue() *packet.Packet {
+	p := b.q.pop()
+	if p != nil {
+		b.Dequeued++
+	}
+	return p
+}
+
+// Len implements Discipline.
+func (b *BernoulliDropper) Len() int { return b.q.len() }
+
+// Bytes implements Discipline.
+func (b *BernoulliDropper) Bytes() int { return b.q.bytes }

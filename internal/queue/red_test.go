@@ -1,0 +1,129 @@
+package queue
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func TestREDNoDropsBelowMinThresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewRED(REDConfig{MinThresh: 50, MaxThresh: 80, MaxP: 0.1, Weight: 0.5, LimitPkts: 100}, rng)
+	for i := uint64(1); i <= 20; i++ {
+		if !q.Enqueue(pkt(i, 100, packet.TCP)) {
+			t.Fatalf("packet %d dropped below min threshold", i)
+		}
+	}
+	if q.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0", q.Dropped)
+	}
+}
+
+func TestREDHardLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewRED(REDConfig{MinThresh: 1000, MaxThresh: 2000, MaxP: 0.1, Weight: 0.002, LimitPkts: 10}, rng)
+	for i := uint64(1); i <= 20; i++ {
+		q.Enqueue(pkt(i, 100, packet.TCP))
+	}
+	if q.Len() != 10 {
+		t.Errorf("Len = %d, want 10", q.Len())
+	}
+	if q.Dropped != 10 {
+		t.Errorf("Dropped = %d, want 10", q.Dropped)
+	}
+}
+
+// TestREDEarlyDropRate holds the queue in the linear drop region and
+// verifies the realized drop probability is in the right range.
+func TestREDEarlyDropRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cfg := REDConfig{MinThresh: 0, MaxThresh: 100, MaxP: 0.2, Weight: 1, LimitPkts: 1000}
+	q := NewRED(cfg, rng)
+	// Keep the instantaneous queue near 50: avg ≈ 50 → pb ≈ 0.1.
+	for i := 0; i < 50; i++ {
+		q.Enqueue(pkt(uint64(i), 100, packet.TCP))
+	}
+	drops, total := 0, 20000
+	for i := 0; i < total; i++ {
+		if !q.Enqueue(pkt(uint64(1000+i), 100, packet.TCP)) {
+			drops++
+		} else {
+			q.Dequeue() // hold occupancy constant
+		}
+	}
+	rate := float64(drops) / float64(total)
+	if rate < 0.05 || rate > 0.25 {
+		t.Errorf("early-drop rate = %.3f, want ~0.1 in [0.05, 0.25]", rate)
+	}
+}
+
+func TestREDForceDropAboveMaxThresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewRED(REDConfig{MinThresh: 5, MaxThresh: 10, MaxP: 0.1, Weight: 1, LimitPkts: 100}, rng)
+	for i := uint64(0); i < 20; i++ {
+		q.Enqueue(pkt(i, 100, packet.TCP))
+	}
+	// avg tracks the queue (weight 1); once avg >= 10, every arrival drops.
+	before := q.Dropped
+	for i := uint64(100); i < 110; i++ {
+		if q.Enqueue(pkt(i, 100, packet.TCP)) {
+			t.Fatalf("packet accepted with avg %.1f above max threshold", q.AvgQueue())
+		}
+	}
+	if q.Dropped != before+10 {
+		t.Errorf("Dropped = %d, want %d", q.Dropped, before+10)
+	}
+}
+
+func TestREDProtectGreen(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	q := NewRED(REDConfig{MinThresh: 0, MaxThresh: 1, MaxP: 1, Weight: 1, LimitPkts: 10000}, rng)
+	q.ProtectGreen = true
+	// Fill past the max threshold so every droppable packet drops.
+	for i := uint64(0); i < 10; i++ {
+		q.Enqueue(pkt(i, 100, packet.TCP))
+	}
+	greens := 0
+	for i := uint64(100); i < 150; i++ {
+		if q.Enqueue(pkt(i, 100, packet.Green)) {
+			greens++
+		}
+	}
+	if greens != 50 {
+		t.Errorf("accepted %d/50 green packets with ProtectGreen", greens)
+	}
+}
+
+func TestDefaultREDConfig(t *testing.T) {
+	cfg := DefaultREDConfig(100)
+	if cfg.MinThresh != 25 || cfg.MaxThresh != 75 || cfg.LimitPkts != 100 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}
+
+func TestBernoulliDropperRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewBernoulliDropper(0.3, false, rng)
+	total := 50000
+	for i := 0; i < total; i++ {
+		if q.Enqueue(pkt(uint64(i), 100, packet.Yellow)) {
+			q.Dequeue()
+		}
+	}
+	rate := q.LossRate()
+	if rate < 0.28 || rate > 0.32 {
+		t.Errorf("loss rate = %.4f, want ~0.30", rate)
+	}
+}
+
+func TestBernoulliDropperProtectGreen(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := NewBernoulliDropper(1.0, true, rng)
+	if !q.Enqueue(pkt(1, 100, packet.Green)) {
+		t.Error("green packet dropped with ProtectGreen at p=1")
+	}
+	if q.Enqueue(pkt(2, 100, packet.Yellow)) {
+		t.Error("yellow packet survived p=1")
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine maintains a virtual clock (time.Duration since simulation
+// start), an event heap ordered by (time, insertion sequence), and a seeded
+// random number generator. All experiments in this repository are driven by
+// a single Engine instance, which makes every run reproducible bit-for-bit
+// for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ErrStopped is returned by Run when the engine was stopped explicitly
+// before the event queue drained.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// Engine is a discrete-event simulator. The zero value is not usable; call
+// NewEngine. Engine is not safe for concurrent use: the simulation model is
+// strictly single-threaded, which is what makes it deterministic.
+type Engine struct {
+	now     time.Duration
+	events  eventHeap
+	seq     uint64
+	rng     *rand.Rand
+	stopped bool
+
+	// processed counts events executed so far (for limits and reporting).
+	processed uint64
+	// maxEvents aborts runaway simulations; 0 means no limit.
+	maxEvents uint64
+}
+
+// NewEngine returns an engine whose random source is seeded with seed.
+func NewEngine(seed int64) *Engine {
+	return &Engine{
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Rand returns the engine's deterministic random source.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed returns the number of events executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetMaxEvents aborts Run with an error after n events (0 disables the
+// limit). It is a safety valve for misconfigured experiments.
+func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// Schedule runs fn after delay units of simulated time. A negative delay is
+// treated as zero (run at the current time, after already-pending events at
+// this time). The returned handle may be used to cancel the event.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute simulation time t. If t is in the past it runs at
+// the current time. The returned handle may be used to cancel the event.
+func (e *Engine) At(t time.Duration, fn func()) *Event {
+	if fn == nil {
+		panic("sim: At called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	ev := &Event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.events, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns ErrStopped if the engine was stopped, or an error if the event
+// limit was exceeded.
+func (e *Engine) Run() error {
+	return e.run(-1)
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances
+// the clock to the deadline. Events scheduled beyond the deadline remain
+// queued so the simulation can be resumed.
+func (e *Engine) RunUntil(deadline time.Duration) error {
+	return e.run(deadline)
+}
+
+func (e *Engine) run(deadline time.Duration) error {
+	e.stopped = false
+	for len(e.events) > 0 {
+		if e.stopped {
+			return ErrStopped
+		}
+		next := e.events[0]
+		if deadline >= 0 && next.at > deadline {
+			e.now = deadline
+			return nil
+		}
+		heap.Pop(&e.events)
+		if next.cancelled {
+			continue
+		}
+		e.now = next.at
+		e.processed++
+		if e.maxEvents > 0 && e.processed > e.maxEvents {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.maxEvents, e.now)
+		}
+		next.fn()
+	}
+	if deadline >= 0 && e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// Pending returns the number of events currently queued (including
+// cancelled events that have not yet been discarded).
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Event is a handle to a scheduled callback.
+type Event struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+}
+
+// Cancel prevents the event from firing. Cancelling an already-executed or
+// already-cancelled event is a no-op.
+func (ev *Event) Cancel() { ev.cancelled = true }
+
+// Cancelled reports whether the event has been cancelled.
+func (ev *Event) Cancelled() bool { return ev.cancelled }
+
+// Time returns the simulation time at which the event fires.
+func (ev *Event) Time() time.Duration { return ev.at }
+
+// eventHeap is a min-heap ordered by (at, seq) so that events scheduled for
+// the same instant execute in insertion order.
+type eventHeap []*Event
+
+var _ heap.Interface = (*eventHeap)(nil)
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,87 @@
+package sim
+
+import "time"
+
+// Ticker invokes a callback at a fixed period of simulated time. It is the
+// building block for router feedback intervals (paper eq. 11, computed every
+// T time units) and paced packet senders.
+type Ticker struct {
+	eng    *Engine
+	period time.Duration
+	fn     func()
+	ev     *Event
+	active bool
+}
+
+// NewTicker creates a ticker that calls fn every period once started.
+// period must be positive.
+func NewTicker(eng *Engine, period time.Duration, fn func()) *Ticker {
+	if period <= 0 {
+		panic("sim: NewTicker with non-positive period")
+	}
+	if fn == nil {
+		panic("sim: NewTicker with nil callback")
+	}
+	return &Ticker{eng: eng, period: period, fn: fn}
+}
+
+// Start schedules the first tick one period from now. Starting an active
+// ticker is a no-op.
+func (t *Ticker) Start() {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.schedule()
+}
+
+// StartAt schedules the first tick at absolute time at and repeats every
+// period thereafter.
+func (t *Ticker) StartAt(at time.Duration) {
+	if t.active {
+		return
+	}
+	t.active = true
+	t.ev = t.eng.At(at, t.tick)
+}
+
+// Stop cancels future ticks. The ticker may be restarted with Start.
+func (t *Ticker) Stop() {
+	if !t.active {
+		return
+	}
+	t.active = false
+	if t.ev != nil {
+		t.ev.Cancel()
+		t.ev = nil
+	}
+}
+
+// Active reports whether the ticker is currently running.
+func (t *Ticker) Active() bool { return t.active }
+
+// Period returns the tick period.
+func (t *Ticker) Period() time.Duration { return t.period }
+
+// SetPeriod changes the period used for ticks scheduled after the current
+// one. period must be positive.
+func (t *Ticker) SetPeriod(period time.Duration) {
+	if period <= 0 {
+		panic("sim: SetPeriod with non-positive period")
+	}
+	t.period = period
+}
+
+func (t *Ticker) schedule() {
+	t.ev = t.eng.Schedule(t.period, t.tick)
+}
+
+func (t *Ticker) tick() {
+	if !t.active {
+		return
+	}
+	t.fn()
+	if t.active {
+		t.schedule()
+	}
+}

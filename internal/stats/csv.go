@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteCSV writes one or more time series as aligned CSV columns. Series
+// are written row-by-row in sample order; shorter series leave trailing
+// cells empty. The first column of each series pair is the sample time in
+// seconds.
+func WriteCSV(w io.Writer, series ...*TimeSeries) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, 0, 2*len(series))
+	maxLen := 0
+	for _, ts := range series {
+		header = append(header, ts.Name+"_t", ts.Name)
+		if ts.Len() > maxLen {
+			maxLen = ts.Len()
+		}
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("stats: write csv header: %w", err)
+	}
+	row := make([]string, 2*len(series))
+	for i := 0; i < maxLen; i++ {
+		for j, ts := range series {
+			if i < ts.Len() {
+				s := ts.Samples()[i]
+				row[2*j] = strconv.FormatFloat(s.At.Seconds(), 'f', 6, 64)
+				row[2*j+1] = strconv.FormatFloat(s.Value, 'g', 8, 64)
+			} else {
+				row[2*j], row[2*j+1] = "", ""
+			}
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("stats: write csv row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("stats: flush csv: %w", err)
+	}
+	return nil
+}
+
+// WriteTable writes a simple CSV table from a header and rows of float
+// values. It is used for the paper's tables (e.g. Table 1).
+func WriteTable(w io.Writer, header []string, rows [][]float64) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("stats: write table header: %w", err)
+	}
+	for i, r := range rows {
+		row := make([]string, len(r))
+		for j, v := range r {
+			row[j] = strconv.FormatFloat(v, 'g', 8, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("stats: write table row %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("stats: flush table: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,181 @@
+// Package stats provides the measurement utilities shared by experiments:
+// time series of (time, value) samples, running mean/variance (Welford),
+// percentile summaries, and CSV export of the series that back the paper's
+// figures.
+package stats
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// Sample is one (time, value) observation.
+type Sample struct {
+	At    time.Duration
+	Value float64
+}
+
+// TimeSeries accumulates samples in arrival order.
+type TimeSeries struct {
+	Name    string
+	samples []Sample
+}
+
+// NewTimeSeries returns an empty named series.
+func NewTimeSeries(name string) *TimeSeries {
+	return &TimeSeries{Name: name}
+}
+
+// Add appends a sample.
+func (ts *TimeSeries) Add(at time.Duration, v float64) {
+	ts.samples = append(ts.samples, Sample{At: at, Value: v})
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.samples) }
+
+// Samples returns the underlying samples. Callers must not mutate it.
+func (ts *TimeSeries) Samples() []Sample { return ts.samples }
+
+// Values returns a copy of the sample values in order.
+func (ts *TimeSeries) Values() []float64 {
+	out := make([]float64, len(ts.samples))
+	for i, s := range ts.samples {
+		out[i] = s.Value
+	}
+	return out
+}
+
+// Last returns the most recent sample value, or 0 if empty.
+func (ts *TimeSeries) Last() float64 {
+	if len(ts.samples) == 0 {
+		return 0
+	}
+	return ts.samples[len(ts.samples)-1].Value
+}
+
+// Mean returns the mean value of all samples.
+func (ts *TimeSeries) Mean() float64 {
+	return Mean(ts.Values())
+}
+
+// After returns the sub-series of samples at or after t (a view; do not
+// mutate).
+func (ts *TimeSeries) After(t time.Duration) []Sample {
+	i := sort.Search(len(ts.samples), func(i int) bool { return ts.samples[i].At >= t })
+	return ts.samples[i:]
+}
+
+// MeanAfter returns the mean value of samples at or after t.
+func (ts *TimeSeries) MeanAfter(t time.Duration) float64 {
+	sub := ts.After(t)
+	if len(sub) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, s := range sub {
+		sum += s.Value
+	}
+	return sum / float64(len(sub))
+}
+
+// Mean returns the arithmetic mean of vs (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// StdDev returns the sample standard deviation of vs.
+func StdDev(vs []float64) float64 {
+	if len(vs) < 2 {
+		return 0
+	}
+	m := Mean(vs)
+	sum := 0.0
+	for _, v := range vs {
+		d := v - m
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(vs)-1))
+}
+
+// Percentile returns the q-th percentile (q in [0,100]) of vs using linear
+// interpolation. It returns 0 for empty input.
+func Percentile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), vs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q / 100 * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Welford maintains running mean and variance without storing samples.
+// The zero value is ready to use.
+type Welford struct {
+	n    int64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(v float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = v, v
+	} else {
+		if v < w.min {
+			w.min = v
+		}
+		if v > w.max {
+			w.max = v
+		}
+	}
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// N returns the observation count.
+func (w *Welford) N() int64 { return w.n }
+
+// Mean returns the running mean.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation (0 if none).
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation (0 if none).
+func (w *Welford) Max() float64 { return w.max }

@@ -1,0 +1,71 @@
+// Package units provides typed helpers for bit rates and data sizes used
+// throughout the simulator. Rates are stored as bits per second in a
+// float64, which keeps arithmetic with the paper's closed forms (eq. 8-12)
+// simple while still carrying intent in the type system.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// BitRate is a data rate in bits per second.
+type BitRate float64
+
+// Common rates.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+	Gbps                 = 1000 * Mbps
+)
+
+// Bps returns the rate as a plain float64 in bits per second.
+func (r BitRate) Bps() float64 { return float64(r) }
+
+// KbpsValue returns the rate in kilobits per second.
+func (r BitRate) KbpsValue() float64 { return float64(r) / 1000 }
+
+// MbpsValue returns the rate in megabits per second.
+func (r BitRate) MbpsValue() float64 { return float64(r) / 1e6 }
+
+// TransmissionTime returns the time needed to serialize sizeBytes at rate r.
+// It returns 0 for non-positive rates or sizes.
+func (r BitRate) TransmissionTime(sizeBytes int) time.Duration {
+	if r <= 0 || sizeBytes <= 0 {
+		return 0
+	}
+	seconds := float64(sizeBytes) * 8 / float64(r)
+	return time.Duration(seconds * float64(time.Second))
+}
+
+// BytesIn returns how many whole bytes can be transmitted at rate r during
+// interval d.
+func (r BitRate) BytesIn(d time.Duration) int {
+	if r <= 0 || d <= 0 {
+		return 0
+	}
+	return int(float64(r) * d.Seconds() / 8)
+}
+
+// String renders the rate with an adaptive unit, e.g. "4.0 mb/s".
+func (r BitRate) String() string {
+	switch {
+	case r >= Gbps:
+		return fmt.Sprintf("%.2f gb/s", float64(r)/1e9)
+	case r >= Mbps:
+		return fmt.Sprintf("%.2f mb/s", float64(r)/1e6)
+	case r >= Kbps:
+		return fmt.Sprintf("%.2f kb/s", float64(r)/1e3)
+	default:
+		return fmt.Sprintf("%.0f b/s", float64(r))
+	}
+}
+
+// RateFromBytes returns the average rate of sizeBytes transferred over d.
+func RateFromBytes(sizeBytes int64, d time.Duration) BitRate {
+	if d <= 0 {
+		return 0
+	}
+	return BitRate(float64(sizeBytes) * 8 / d.Seconds())
+}

@@ -1,0 +1,100 @@
+package units
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransmissionTime(t *testing.T) {
+	tests := []struct {
+		name string
+		rate BitRate
+		size int
+		want time.Duration
+	}{
+		{"500B at 4mb/s", 4 * Mbps, 500, time.Millisecond},
+		{"1000B at 8kb/s", 8 * Kbps, 1000, time.Second},
+		{"zero size", Mbps, 0, 0},
+		{"negative size", Mbps, -5, 0},
+		{"zero rate", 0, 100, 0},
+		{"125B at 1kb/s", Kbps, 125, time.Second},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.rate.TransmissionTime(tt.size); got != tt.want {
+				t.Errorf("TransmissionTime(%d) = %v, want %v", tt.size, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (2 * Mbps).BytesIn(500 * time.Millisecond); got != 125000 {
+		t.Errorf("2mb/s over 500ms = %d bytes, want 125000", got)
+	}
+	if got := (Kbps).BytesIn(0); got != 0 {
+		t.Errorf("BytesIn(0) = %d, want 0", got)
+	}
+	if got := BitRate(-1).BytesIn(time.Second); got != 0 {
+		t.Errorf("negative rate BytesIn = %d, want 0", got)
+	}
+}
+
+func TestRateFromBytes(t *testing.T) {
+	if got := RateFromBytes(125000, 500*time.Millisecond); got != 2*Mbps {
+		t.Errorf("RateFromBytes = %v, want 2mb/s", got)
+	}
+	if got := RateFromBytes(100, 0); got != 0 {
+		t.Errorf("RateFromBytes with zero duration = %v, want 0", got)
+	}
+}
+
+// TestRoundTripProperty: transmitting BytesIn(d) bytes at rate r takes ~d.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(kbps uint16, ms uint16) bool {
+		rate := BitRate(kbps+1) * Kbps
+		d := time.Duration(ms+1) * time.Millisecond
+		n := rate.BytesIn(d)
+		back := rate.TransmissionTime(n)
+		// One byte of quantization allowed.
+		diff := math.Abs(float64(back - d))
+		return diff <= float64(rate.TransmissionTime(1))+1
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConversions(t *testing.T) {
+	r := BitRate(2.5e6)
+	if r.MbpsValue() != 2.5 {
+		t.Errorf("MbpsValue = %v", r.MbpsValue())
+	}
+	if r.KbpsValue() != 2500 {
+		t.Errorf("KbpsValue = %v", r.KbpsValue())
+	}
+	if r.Bps() != 2.5e6 {
+		t.Errorf("Bps = %v", r.Bps())
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		rate BitRate
+		want string
+	}{
+		{4 * Mbps, "4.00 mb/s"},
+		{128 * Kbps, "128.00 kb/s"},
+		{2 * Gbps, "2.00 gb/s"},
+		{500, "500 b/s"},
+	}
+	for _, tt := range tests {
+		if got := tt.rate.String(); got != tt.want {
+			t.Errorf("String(%v) = %q, want %q", float64(tt.rate), got, tt.want)
+		}
+	}
+}

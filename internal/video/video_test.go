@@ -1,0 +1,251 @@
+package video
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRDModelGainBounds(t *testing.T) {
+	m := DefaultRDModel()
+	if got := m.Gain(0); got != 0 {
+		t.Errorf("Gain(0) = %v, want 0", got)
+	}
+	if got := m.Gain(-100); got != 0 {
+		t.Errorf("Gain(-100) = %v, want 0", got)
+	}
+	if got := m.Gain(m.MaxEnhBytes); math.Abs(got-m.MaxGain) > 1e-9 {
+		t.Errorf("Gain(full layer) = %v, want MaxGain %v", got, m.MaxGain)
+	}
+	if got := m.Gain(10 * m.MaxEnhBytes); math.Abs(got-m.MaxGain) > 1e-9 {
+		t.Errorf("Gain beyond full layer = %v, want clamp at %v", got, m.MaxGain)
+	}
+}
+
+func TestRDModelMonotoneConcave(t *testing.T) {
+	m := DefaultRDModel()
+	prev, prevDelta := 0.0, math.Inf(1)
+	for b := 1000; b <= m.MaxEnhBytes; b += 1000 {
+		g := m.Gain(b)
+		if g < prev {
+			t.Fatalf("gain not monotone at %d bytes", b)
+		}
+		delta := g - prev
+		if delta > prevDelta+1e-9 {
+			t.Fatalf("gain not concave at %d bytes (diminishing returns violated)", b)
+		}
+		prev, prevDelta = g, delta
+	}
+}
+
+func TestRDModelPSNR(t *testing.T) {
+	m := DefaultRDModel()
+	if got := m.PSNR(30, true, 0); got != 30 {
+		t.Errorf("PSNR with no enhancement = %v, want base 30", got)
+	}
+	if got := m.PSNR(30, false, 50000); got != m.ConcealmentPSNR {
+		t.Errorf("PSNR with lost base = %v, want concealment %v", got, m.ConcealmentPSNR)
+	}
+	if got := m.PSNR(30, true, m.MaxEnhBytes); math.Abs(got-(30+m.MaxGain)) > 1e-9 {
+		t.Errorf("full enhancement PSNR = %v", got)
+	}
+}
+
+func TestRDModelValidate(t *testing.T) {
+	bad := []RDModel{
+		{MaxGain: 0, Kappa: 1, MaxEnhBytes: 1},
+		{MaxGain: 1, Kappa: 0, MaxEnhBytes: 1},
+		{MaxGain: 1, Kappa: 1, MaxEnhBytes: 0},
+	}
+	for _, m := range bad {
+		if m.Validate() == nil {
+			t.Errorf("Validate(%+v) = nil, want error", m)
+		}
+	}
+	if err := DefaultRDModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+}
+
+func TestForemanTraceDeterministic(t *testing.T) {
+	a := ForemanTrace(300)
+	b := ForemanTrace(300)
+	if a.Len() != 300 {
+		t.Fatalf("Len = %d", a.Len())
+	}
+	for i := range a.Frames {
+		if a.Frames[i] != b.Frames[i] {
+			t.Fatalf("trace not deterministic at frame %d", i)
+		}
+	}
+}
+
+func TestForemanTraceShape(t *testing.T) {
+	tr := ForemanTrace(300)
+	mean := tr.MeanBasePSNR()
+	if mean < 27 || mean < 0 || mean > 32 {
+		t.Errorf("mean base PSNR = %.2f, want ~29", mean)
+	}
+	// The camera-pan dip (around 60-75% of the sequence) should be below
+	// the talking-head average.
+	var head, pan float64
+	for i := 0; i < 150; i++ {
+		head += tr.Frames[i].BasePSNR
+	}
+	head /= 150
+	for i := 190; i < 215; i++ {
+		pan += tr.Frames[i].BasePSNR
+	}
+	pan /= 25
+	if pan >= head {
+		t.Errorf("camera-pan PSNR %.2f not below talking-head %.2f", pan, head)
+	}
+	for i, f := range tr.Frames {
+		if f.Complexity < 1 || f.Complexity > 2 {
+			t.Errorf("frame %d complexity %v out of range [1,2]", i, f.Complexity)
+		}
+	}
+}
+
+func TestTraceFrameWrapsAround(t *testing.T) {
+	tr := ForemanTrace(300)
+	f := tr.Frame(305)
+	if f.BasePSNR != tr.Frames[5].BasePSNR {
+		t.Error("Frame(305) did not wrap to frame 5")
+	}
+	if f.Index != 305 {
+		t.Errorf("wrapped frame index = %d, want 305", f.Index)
+	}
+}
+
+func TestTraceEmptyFallback(t *testing.T) {
+	tr := &Trace{}
+	f := tr.Frame(3)
+	if f.BasePSNR != 30 || f.Complexity != 1 {
+		t.Errorf("empty trace fallback = %+v", f)
+	}
+	if tr.MeanBasePSNR() != 0 {
+		t.Error("empty trace mean != 0")
+	}
+}
+
+func TestConstantTrace(t *testing.T) {
+	tr := ConstantTrace(10, 33)
+	for i := 0; i < 10; i++ {
+		if tr.Frame(i).BasePSNR != 33 {
+			t.Fatalf("frame %d PSNR != 33", i)
+		}
+	}
+}
+
+func TestSequencePSNR(t *testing.T) {
+	tr := ConstantTrace(3, 30)
+	m := DefaultRDModel()
+	useful := []int{0, m.MaxEnhBytes, 1000}
+	complete := []bool{true, true, false}
+	psnr := SequencePSNR(tr, m, useful, complete)
+	if psnr[0] != 30 {
+		t.Errorf("frame 0 = %v, want 30", psnr[0])
+	}
+	if math.Abs(psnr[1]-(30+m.MaxGain)) > 1e-9 {
+		t.Errorf("frame 1 = %v, want %v", psnr[1], 30+m.MaxGain)
+	}
+	if psnr[2] != m.ConcealmentPSNR {
+		t.Errorf("frame 2 = %v, want concealment", psnr[2])
+	}
+}
+
+func TestSequencePSNRNilBaseComplete(t *testing.T) {
+	tr := ConstantTrace(2, 30)
+	m := DefaultRDModel()
+	psnr := SequencePSNR(tr, m, []int{0, 0}, nil)
+	for i, v := range psnr {
+		if v != 30 {
+			t.Errorf("frame %d = %v, want 30 (nil baseComplete means all complete)", i, v)
+		}
+	}
+}
+
+func TestSequencePSNRComplexityScalesGain(t *testing.T) {
+	m := DefaultRDModel()
+	tr := &Trace{Frames: []TraceFrame{
+		{BasePSNR: 30, Complexity: 1},
+		{BasePSNR: 30, Complexity: 2},
+	}}
+	psnr := SequencePSNR(tr, m, []int{10000, 10000}, nil)
+	g1, g2 := psnr[0]-30, psnr[1]-30
+	if math.Abs(g2-g1/2) > 1e-9 {
+		t.Errorf("complexity-2 gain = %v, want half of %v (same bytes, harder frame)", g2, g1)
+	}
+}
+
+func TestImprovementPercent(t *testing.T) {
+	tr := ConstantTrace(4, 30)
+	psnr := []float64{33, 33, 33, 33}
+	if got := ImprovementPercent(tr, psnr); math.Abs(got-10) > 1e-9 {
+		t.Errorf("improvement = %v%%, want 10%%", got)
+	}
+	if got := ImprovementPercent(tr, nil); got != 0 {
+		t.Errorf("empty improvement = %v, want 0", got)
+	}
+}
+
+// TestGainScalesWithMaxGainProperty: gain is proportional to MaxGain and
+// bounded by it.
+func TestGainScalesWithMaxGainProperty(t *testing.T) {
+	f := func(bytesRaw uint16, gainRaw uint8) bool {
+		m := DefaultRDModel()
+		m.MaxGain = 1 + float64(gainRaw)/8
+		b := int(bytesRaw) * 2
+		g := m.Gain(b)
+		if g < 0 || g > m.MaxGain+1e-9 {
+			return false
+		}
+		m2 := m
+		m2.MaxGain = m.MaxGain * 2
+		return math.Abs(m2.Gain(b)-2*g) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(41))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequenceTraceCharacters(t *testing.T) {
+	foreman := ForemanTrace(300)
+	akiyo := AkiyoTrace(300)
+	coast := CoastguardTrace(300)
+	// Static content has the best base quality, panning the worst.
+	if !(akiyo.MeanBasePSNR() > foreman.MeanBasePSNR() && foreman.MeanBasePSNR() > coast.MeanBasePSNR()) {
+		t.Errorf("base PSNR ordering akiyo %.1f > foreman %.1f > coastguard %.1f violated",
+			akiyo.MeanBasePSNR(), foreman.MeanBasePSNR(), coast.MeanBasePSNR())
+	}
+	meanComplexity := func(tr *Trace) float64 {
+		sum := 0.0
+		for _, f := range tr.Frames {
+			sum += f.Complexity
+		}
+		return sum / float64(len(tr.Frames))
+	}
+	if !(meanComplexity(akiyo) < meanComplexity(foreman) && meanComplexity(foreman) < meanComplexity(coast)) {
+		t.Error("complexity ordering akiyo < foreman < coastguard violated")
+	}
+	// The same delivered bytes enhance easy content more than hard content.
+	m := DefaultRDModel()
+	useful := make([]int, 300)
+	for i := range useful {
+		useful[i] = 20000
+	}
+	gainOf := func(tr *Trace) float64 {
+		psnr := SequencePSNR(tr, m, useful, nil)
+		sum := 0.0
+		for i, v := range psnr {
+			sum += v - tr.Frame(i).BasePSNR
+		}
+		return sum / float64(len(psnr))
+	}
+	if !(gainOf(akiyo) > gainOf(coast)) {
+		t.Errorf("gain on akiyo %.2f not above coastguard %.2f", gainOf(akiyo), gainOf(coast))
+	}
+}
