@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short bench repro cover fuzz clean
+.PHONY: all build vet test test-short race fmt-check ci bench repro cover fuzz clean
 
 all: build vet test
 
@@ -15,6 +15,17 @@ test:
 
 test-short:
 	go test -short ./...
+
+# Race-enabled short tests — the PR gate in .github/workflows/ci.yml.
+race:
+	go test -race -short ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
+
+# The exact CI gate, runnable locally before pushing.
+ci: build vet fmt-check race
 
 # Regenerate every table and figure of the paper (plus extensions).
 repro:

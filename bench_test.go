@@ -19,6 +19,9 @@ import (
 // BenchmarkTable1 regenerates Table 1: expected useful packets per frame,
 // Monte-Carlo simulation vs the closed form of eq. (2).
 func BenchmarkTable1(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultTable1Config()
 	cfg.Frames = 20000
 	var rows []experiments.Table1Row
@@ -86,6 +89,9 @@ func BenchmarkFigure5(b *testing.B) {
 // BenchmarkFigure7 regenerates Fig. 7: γ evolution and red-loss convergence
 // at the paper's ~7% and ~14% loss levels (full-stack simulation).
 func BenchmarkFigure7(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultFigure7Config()
 	cfg.Duration = 60 * time.Second
 	var runs []experiments.Figure7Run
@@ -111,6 +117,9 @@ func BenchmarkFigure7(b *testing.B) {
 // BenchmarkFigure8 regenerates Fig. 8 and Fig. 9 (left): per-color
 // queueing delays under the staircase workload.
 func BenchmarkFigure8(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultFigure8Config()
 	cfg.Steps = 3
 	var res *experiments.Figure8Result
@@ -130,6 +139,9 @@ func BenchmarkFigure8(b *testing.B) {
 // BenchmarkFigure9 regenerates Fig. 9 (right): MKC convergence and
 // fairness after F2 joins.
 func BenchmarkFigure9(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultFigure9Config()
 	var res *experiments.Figure9Result
 	for i := 0; i < b.N; i++ {
@@ -149,6 +161,9 @@ func BenchmarkFigure9(b *testing.B) {
 // BenchmarkFigure10 regenerates Fig. 10: PSNR of the reconstructed Foreman
 // sequence, PELS vs best-effort at ~10% and ~19% loss.
 func BenchmarkFigure10(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultFigure10Config()
 	cfg.Duration = 90 * time.Second
 	cfg.EvalFrames = 120
@@ -175,6 +190,9 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkAblations runs the design-choice ablation suite (DESIGN.md §6).
 func BenchmarkAblations(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultAblationConfig()
 	cfg.Duration = 45 * time.Second
 	var rows []experiments.AblationResult
@@ -194,6 +212,9 @@ func BenchmarkAblations(b *testing.B) {
 // BenchmarkMultiBottleneck exercises the §5.2 multi-router feedback: the
 // source follows a bottleneck shift from R2 to R1.
 func BenchmarkMultiBottleneck(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultMultiBottleneckConfig()
 	var res *experiments.MultiBottleneckResult
 	for i := 0; i < b.N; i++ {
@@ -211,6 +232,9 @@ func BenchmarkMultiBottleneck(b *testing.B) {
 // BenchmarkRDScaling runs the §6.5 quality-smoothing extension: R-D-aware
 // frame budgets vs the paper's constant scaling.
 func BenchmarkRDScaling(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultRDScalingConfig()
 	cfg.Duration = 90 * time.Second
 	var res *experiments.RDScalingResult
@@ -229,6 +253,9 @@ func BenchmarkRDScaling(b *testing.B) {
 // BenchmarkControllers runs the §5 congestion-control-independence sweep
 // (MKC, Kelly, AIMD, TFRC, IIAD, SQRT under identical load).
 func BenchmarkControllers(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultControllersConfig()
 	cfg.Duration = 45 * time.Second
 	var rows []experiments.ControllerResult
@@ -247,6 +274,9 @@ func BenchmarkControllers(b *testing.B) {
 
 // BenchmarkRTTFairness runs the Lemma 6 heterogeneous-delay experiment.
 func BenchmarkRTTFairness(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultRTTFairnessConfig()
 	cfg.Duration = 45 * time.Second
 	var res *experiments.RTTFairnessResult
@@ -263,6 +293,9 @@ func BenchmarkRTTFairness(b *testing.B) {
 
 // BenchmarkIsolation runs the §6.1 WRR isolation sweeps.
 func BenchmarkIsolation(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultIsolationConfig()
 	cfg.Duration = 30 * time.Second
 	var res *experiments.IsolationResult
@@ -280,6 +313,9 @@ func BenchmarkIsolation(b *testing.B) {
 
 // BenchmarkUtilization runs the §1 useful-link-utilization comparison.
 func BenchmarkUtilization(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	cfg := experiments.DefaultUtilizationConfig()
 	cfg.Duration = 45 * time.Second
 	var rows []experiments.UtilizationResult
@@ -299,6 +335,9 @@ func BenchmarkUtilization(b *testing.B) {
 // BenchmarkSimulatorThroughput measures raw simulator performance: events
 // per second pushing the paper's default scenario through the engine.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	if testing.Short() {
+		b.Skip("skipping full experiment benchmark in -short mode")
+	}
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultTestbedConfig()
 		cfg.Seed = int64(i + 1)

@@ -2,9 +2,17 @@
 // evaluation section. Summary rows print to stdout; with -csv DIR the
 // underlying time series are exported as CSV files for plotting.
 //
+// Experiments fan out across a worker pool (-parallel, default
+// runtime.NumCPU()): each job owns an independent sim.Engine, so runs are
+// embarrassingly parallel and the formatted output is byte-identical to a
+// serial run. -replicas N repeats every experiment at seeds seed..seed+N-1
+// for confidence intervals; -json FILE records structured per-job results
+// (name, seed, wall-clock duration, events processed, error status).
+//
 // Usage:
 //
-//	pelsbench [-only <subset>] [-csv DIR] [-seed N]
+//	pelsbench [-only <subset>] [-csv DIR] [-seed N] [-parallel N]
+//	          [-replicas N] [-json FILE] [-timeout D]
 package main
 
 import (
@@ -12,10 +20,11 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
-	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/runner"
 	"repro/internal/stats"
 )
 
@@ -27,18 +36,28 @@ func main() {
 }
 
 func run() error {
-	only := flag.String("only", "", "comma-separated subset: table1,fig2,fig3,fig5,fig7,fig8,fig9,fig10,ablations,multibottleneck,rdscaling,utilization,isolation,controllers,rttfairness,mixed (default: all)")
+	only := flag.String("only", "", "comma-separated subset of experiment names (default: all; see -list)")
+	list := flag.Bool("list", false, "list experiment names and exit")
 	csvDir := flag.String("csv", "", "directory to write time-series CSV files into")
-	seed := flag.Int64("seed", 1, "simulation seed")
+	seed := flag.Int64("seed", 1, "base simulation seed; replica r runs at seed+r")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "number of experiments run concurrently")
+	replicas := flag.Int("replicas", 1, "seed replicas per experiment")
+	jsonPath := flag.String("json", "", "write structured per-job results to FILE as JSON")
+	timeout := flag.Duration("timeout", 0, "per-experiment wall-clock timeout (0 = none)")
 	flag.Parse()
 
-	selected := map[string]bool{}
-	if *only != "" {
-		for _, name := range strings.Split(*only, ",") {
-			selected[strings.TrimSpace(name)] = true
-		}
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return nil
 	}
-	want := func(name string) bool { return len(selected) == 0 || selected[name] }
+	if *replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1 (got %d)", *replicas)
+	}
+
+	entries, err := selectEntries(*only)
+	if err != nil {
+		return err
+	}
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -46,190 +65,116 @@ func run() error {
 		}
 	}
 
-	if want("table1") {
-		cfg := experiments.DefaultTable1Config()
-		cfg.Seed = *seed
-		rows := experiments.Table1(cfg)
-		section("Table 1 — expected number of useful packets")
-		fmt.Print(experiments.FormatTable1(rows))
+	jobs, titles := buildJobs(entries, *seed, *replicas, *csvDir)
+	pool := runner.Pool{Workers: *parallel, Timeout: *timeout}
+	results := pool.Run(jobs)
+
+	failed := 0
+	for i, res := range results {
+		header := titles[i]
+		if *replicas > 1 {
+			header = fmt.Sprintf("%s [replica %d, seed %d]", header, res.Replica, res.Seed)
+		}
+		fmt.Printf("\n=== %s ===\n", header)
+		if res.Err != nil {
+			failed++
+			fmt.Printf("FAILED: see summary\n")
+			fmt.Fprintf(os.Stderr, "pelsbench: %s (seed %d): %v\n", res.Name, res.Seed, res.Err)
+			continue
+		}
+		fmt.Print(res.Text)
 	}
 
-	if want("fig2") {
-		cfg := experiments.DefaultFigure2Config()
-		rows := experiments.Figure2(cfg)
-		section("Figure 2 — useful packets and utility vs frame size H")
-		fmt.Print(experiments.FormatFigure2(cfg, rows))
-	}
+	// The status table goes to stderr so stdout stays a deterministic,
+	// diff-friendly record of the experiment outputs alone.
+	fmt.Fprintf(os.Stderr, "\n%s", runner.FormatSummary(results))
 
-	if want("fig3") {
-		res := experiments.Figure3(100, 0.1, *seed)
-		section("Figure 3 — random vs ideal drop pattern in one frame")
-		fmt.Print(experiments.FormatFigure3(res))
-	}
-
-	if want("fig5") {
-		res := experiments.Figure5(experiments.DefaultFigure5Config())
-		section("Figure 5 — gamma controller stability (sigma=0.5 vs sigma=3)")
-		fmt.Print(experiments.FormatFigure5(res))
-	}
-
-	if want("fig7") {
-		cfg := experiments.DefaultFigure7Config()
-		cfg.Seed = *seed
-		runs, err := experiments.Figure7(cfg)
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
 		if err != nil {
-			return err
+			return fmt.Errorf("create %s: %w", *jsonPath, err)
 		}
-		section("Figure 7 — gamma evolution and red loss convergence")
-		fmt.Print(experiments.FormatFigure7(runs))
-		for _, r := range runs {
-			if err := writeCSV(*csvDir, fmt.Sprintf("fig7_n%d.csv", r.NumFlows), r.Gamma, r.RedLoss); err != nil {
-				return err
-			}
+		if err := runner.WriteJSON(f, results); err != nil {
+			f.Close()
+			return fmt.Errorf("write %s: %w", *jsonPath, err)
 		}
-	}
-
-	if want("fig8") {
-		cfg := experiments.DefaultFigure8Config()
-		cfg.Seed = *seed
-		res, err := experiments.Figure8(cfg)
-		if err != nil {
-			return err
-		}
-		section("Figure 8 / Figure 9 (left) — per-color queueing delays")
-		fmt.Print(experiments.FormatFigure8(res))
-		if err := writeCSV(*csvDir, "fig8_delays.csv", res.Green, res.Yellow, res.Red); err != nil {
-			return err
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("close %s: %w", *jsonPath, err)
 		}
 	}
 
-	if want("fig9") {
-		cfg := experiments.DefaultFigure9Config()
-		cfg.Seed = *seed
-		res, err := experiments.Figure9(cfg)
-		if err != nil {
-			return err
-		}
-		section("Figure 9 (right) — MKC convergence and fairness")
-		fmt.Print(experiments.FormatFigure9(res))
-		if err := writeCSV(*csvDir, "fig9_rates.csv", res.Rates...); err != nil {
-			return err
-		}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d jobs failed", failed, len(jobs))
 	}
-
-	if want("fig10") {
-		cfg := experiments.DefaultFigure10Config()
-		cfg.Seed = *seed
-		runs, err := experiments.Figure10(cfg)
-		if err != nil {
-			return err
-		}
-		section("Figure 10 — PSNR of reconstructed Foreman (PELS vs best-effort)")
-		fmt.Print(experiments.FormatFigure10(runs))
-		for _, r := range runs {
-			psnr := psnrSeries(r)
-			if err := writeCSV(*csvDir, fmt.Sprintf("fig10_n%d.csv", r.NumFlows), psnr...); err != nil {
-				return err
-			}
-		}
-	}
-
-	if want("ablations") {
-		cfg := experiments.DefaultAblationConfig()
-		cfg.Seed = *seed
-		rows, err := experiments.Ablations(cfg)
-		if err != nil {
-			return err
-		}
-		section("Ablations — design-choice variants (DESIGN.md §6)")
-		fmt.Print(experiments.FormatAblations(rows))
-	}
-
-	if want("multibottleneck") {
-		cfg := experiments.DefaultMultiBottleneckConfig()
-		cfg.Seed = *seed
-		res, err := experiments.MultiBottleneck(cfg)
-		if err != nil {
-			return err
-		}
-		section("Multi-bottleneck — max-min feedback and bottleneck shift (§5.2)")
-		fmt.Print(experiments.FormatMultiBottleneck(res))
-		if err := writeCSV(*csvDir, "multibottleneck.csv", res.Rate, res.BottleneckID); err != nil {
-			return err
-		}
-	}
-
-	if want("utilization") {
-		cfg := experiments.DefaultUtilizationConfig()
-		cfg.Seed = *seed
-		rows, err := experiments.Utilization(cfg)
-		if err != nil {
-			return err
-		}
-		section("Useful link utilization — PELS vs best-effort (§1)")
-		fmt.Print(experiments.FormatUtilization(rows))
-	}
-
-	if want("isolation") {
-		cfg := experiments.DefaultIsolationConfig()
-		cfg.Seed = *seed
-		res, err := experiments.Isolation(cfg)
-		if err != nil {
-			return err
-		}
-		section("WRR isolation — PELS and Internet queues do not affect each other (§6.1)")
-		fmt.Print(experiments.FormatIsolation(res))
-	}
-
-	if want("controllers") {
-		cfg := experiments.DefaultControllersConfig()
-		cfg.Seed = *seed
-		rows, err := experiments.Controllers(cfg)
-		if err != nil {
-			return err
-		}
-		section("Congestion-control independence — PELS under every controller (§5)")
-		fmt.Print(experiments.FormatControllers(rows))
-	}
-
-	if want("rttfairness") {
-		cfg := experiments.DefaultRTTFairnessConfig()
-		cfg.Seed = *seed
-		res, err := experiments.RTTFairness(cfg)
-		if err != nil {
-			return err
-		}
-		section("RTT fairness — MKC does not penalize long-RTT flows (Lemma 6)")
-		fmt.Print(experiments.FormatRTTFairness(res))
-	}
-
-	if want("mixed") {
-		cfg := experiments.DefaultMixedPopulationConfig()
-		cfg.Seed = *seed
-		res, err := experiments.MixedPopulation(cfg)
-		if err != nil {
-			return err
-		}
-		section("Mixed controller population — MKC vs AIMD on shared PELS queues")
-		fmt.Print(experiments.FormatMixedPopulation(res))
-	}
-
-	if want("rdscaling") {
-		cfg := experiments.DefaultRDScalingConfig()
-		cfg.Seed = *seed
-		res, err := experiments.RDScaling(cfg)
-		if err != nil {
-			return err
-		}
-		section("R-D-aware rate scaling — the §6.5 smoothing extension")
-		fmt.Print(experiments.FormatRDScaling(res))
-	}
-
 	return nil
 }
 
-func section(title string) {
-	fmt.Printf("\n=== %s ===\n", title)
+// selectEntries resolves the -only flag against the registry. Unknown
+// names are an error listing the valid ones, so a typo like "fig4" fails
+// loudly instead of silently printing nothing.
+func selectEntries(only string) ([]experiments.Entry, error) {
+	all := experiments.Registry()
+	if strings.TrimSpace(only) == "" {
+		return all, nil
+	}
+	want := map[string]bool{}
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if _, ok := experiments.Lookup(name); !ok {
+			return nil, fmt.Errorf("unknown experiment %q (valid: %s)", name, strings.Join(experiments.Names(), ", "))
+		}
+		want[name] = true
+	}
+	if len(want) == 0 {
+		return nil, fmt.Errorf("-only contains no experiment names (valid: %s)", strings.Join(experiments.Names(), ", "))
+	}
+	var sel []experiments.Entry
+	for _, e := range all {
+		if want[e.Name] {
+			sel = append(sel, e)
+		}
+	}
+	return sel, nil
+}
+
+// buildJobs expands entries × replicas into runner jobs (replica r runs
+// at baseSeed+r) plus a parallel slice of section titles. Each job writes
+// its own CSV artifacts from the worker goroutine; file names get a
+// replica prefix when replicas > 1 so concurrent writers never collide.
+func buildJobs(entries []experiments.Entry, baseSeed int64, replicas int, csvDir string) ([]runner.Job, []string) {
+	var jobs []runner.Job
+	var titles []string
+	for _, e := range entries {
+		for r := 0; r < replicas; r++ {
+			e, r := e, r
+			jobs = append(jobs, runner.Job{
+				Name:    e.Name,
+				Replica: r,
+				Seed:    baseSeed + int64(r),
+				Run: func(seed int64) (runner.Output, error) {
+					res, err := e.Run(seed)
+					if err != nil {
+						return runner.Output{}, err
+					}
+					for _, a := range res.Artifacts {
+						name := a.Name
+						if replicas > 1 {
+							name = fmt.Sprintf("r%d_%s", r, name)
+						}
+						if err := writeCSV(csvDir, name, a.Series...); err != nil {
+							return runner.Output{}, err
+						}
+					}
+					return runner.Output{Text: res.Output, Events: res.Events}, nil
+				},
+			})
+			titles = append(titles, e.Title)
+		}
+	}
+	return jobs, titles
 }
 
 func writeCSV(dir, name string, series ...*stats.TimeSeries) error {
@@ -246,22 +191,4 @@ func writeCSV(dir, name string, series ...*stats.TimeSeries) error {
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	return nil
-}
-
-// psnrSeries converts a Figure10Run's per-frame PSNR arrays into series
-// indexed by frame number (stored in the time column as frame count).
-func psnrSeries(r experiments.Figure10Run) []*stats.TimeSeries {
-	base := stats.NewTimeSeries("base_psnr")
-	be := stats.NewTimeSeries("besteffort_psnr")
-	pels := stats.NewTimeSeries("pels_psnr")
-	for i := range r.BasePSNR {
-		base.Add(time.Duration(i)*time.Second, r.BasePSNR[i])
-	}
-	for i := range r.BEPSNR {
-		be.Add(time.Duration(i)*time.Second, r.BEPSNR[i])
-	}
-	for i := range r.PELSPSNR {
-		pels.Add(time.Duration(i)*time.Second, r.PELSPSNR[i])
-	}
-	return []*stats.TimeSeries{base, be, pels}
 }

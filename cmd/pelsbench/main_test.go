@@ -1,0 +1,76 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+func TestSelectEntriesAll(t *testing.T) {
+	all, err := selectEntries("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(experiments.Registry()) {
+		t.Fatalf("got %d entries, want full registry", len(all))
+	}
+}
+
+func TestSelectEntriesSubset(t *testing.T) {
+	sel, err := selectEntries(" fig3 , table1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel) != 2 {
+		t.Fatalf("got %d entries, want 2", len(sel))
+	}
+	// Registry (paper) order is preserved regardless of flag order.
+	if sel[0].Name != "table1" || sel[1].Name != "fig3" {
+		t.Errorf("wrong selection/order: %q, %q", sel[0].Name, sel[1].Name)
+	}
+}
+
+// TestSelectEntriesUnknown: a typo like fig4 must fail loudly with the
+// list of valid names instead of silently selecting nothing.
+func TestSelectEntriesUnknown(t *testing.T) {
+	_, err := selectEntries("fig4")
+	if err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if !strings.Contains(err.Error(), "fig4") || !strings.Contains(err.Error(), "fig7") {
+		t.Errorf("error should name the bad input and the valid names: %v", err)
+	}
+}
+
+// TestParallelSerialIdenticalOutput: the determinism contract of the
+// acceptance criteria, at the job level — cheap closed-form experiments
+// run through an 8-worker pool and a 1-worker pool must emit identical
+// text for every (experiment, replica) slot.
+func TestParallelSerialIdenticalOutput(t *testing.T) {
+	var entries []experiments.Entry
+	for _, name := range []string{"table1", "fig2", "fig3", "fig5"} {
+		e, ok := experiments.Lookup(name)
+		if !ok {
+			t.Fatalf("missing entry %q", name)
+		}
+		entries = append(entries, e)
+	}
+	jobs, _ := buildJobs(entries, 1, 3, "")
+	serial := (&runner.Pool{Workers: 1}).Run(jobs)
+	parallel := (&runner.Pool{Workers: 8}).Run(jobs)
+	for i := range jobs {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("job %s failed: %v / %v", jobs[i].Name, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Text != parallel[i].Text {
+			t.Errorf("job %s replica %d: parallel output differs from serial",
+				jobs[i].Name, jobs[i].Replica)
+		}
+		if serial[i].Seed != 1+int64(jobs[i].Replica) {
+			t.Errorf("job %s replica %d: seed %d, want %d",
+				jobs[i].Name, jobs[i].Replica, serial[i].Seed, 1+int64(jobs[i].Replica))
+		}
+	}
+}

@@ -23,6 +23,8 @@ type AblationResult struct {
 	RateMean, RateStdDev float64
 	// FeedbackLoss is the mean positive feedback loss after warmup.
 	FeedbackLoss float64
+	// Events is the number of simulator events the variant processed.
+	Events uint64
 }
 
 // AblationConfig parameterizes the ablation suite.
@@ -109,6 +111,7 @@ func Ablations(cfg AblationConfig) ([]AblationResult, error) {
 		res := AblationResult{
 			Name:         v.name,
 			FeedbackLoss: tb.MeasuredPELSLoss(warm),
+			Events:       tb.Eng.Processed(),
 		}
 		res.MeanUtility = sinkTailUtility(tb, cfg)
 		if tb.PELSQueues != nil {

@@ -25,6 +25,8 @@ type ControllerResult struct {
 	RateMean, RateStdDev float64
 	// YellowLoss must stay ~0 regardless of controller.
 	YellowLoss float64
+	// Events is the number of simulator events the run processed.
+	Events uint64
 }
 
 // ControllersConfig parameterizes the comparison.
@@ -81,6 +83,7 @@ func Controllers(cfg ControllersConfig) ([]ControllerResult, error) {
 			Name:        f.name,
 			MeanUtility: fgs.Aggregate(frames).MeanUtility,
 			RateMean:    mean(vals),
+			Events:      tb.Eng.Processed(),
 		}
 		res.RateStdDev = stddev(vals, res.RateMean)
 		yl := tb.PELSQueues.PELS.ColorCounters(packet.Yellow)

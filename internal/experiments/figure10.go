@@ -38,6 +38,9 @@ type Figure10Run struct {
 	BEUseful     float64
 	PELSComplete int // frames with complete base layer
 	BEComplete   int
+	// Events is the number of simulator events processed across the
+	// PELS and best-effort runs.
+	Events uint64
 }
 
 // Figure10Level selects one congestion operating point via the MKC
@@ -102,11 +105,11 @@ func Figure10(cfg Figure10Config) ([]Figure10Run, error) {
 
 func figure10Level(cfg Figure10Config, level Figure10Level) (Figure10Run, error) {
 	n := level.Flows
-	pelsFrames, pelsLoss, err := figure10Stream(cfg, level, false)
+	pelsFrames, pelsLoss, pelsEvents, err := figure10Stream(cfg, level, false)
 	if err != nil {
 		return Figure10Run{}, fmt.Errorf("experiments: figure 10 PELS (n=%d): %w", n, err)
 	}
-	beFrames, beLoss, err := figure10Stream(cfg, level, true)
+	beFrames, beLoss, beEvents, err := figure10Stream(cfg, level, true)
 	if err != nil {
 		return Figure10Run{}, fmt.Errorf("experiments: figure 10 best-effort (n=%d): %w", n, err)
 	}
@@ -132,6 +135,7 @@ func figure10Level(cfg Figure10Config, level Figure10Level) (Figure10Run, error)
 		PELSLoss:   pelsLoss,
 		BELoss:     beLoss,
 		Frames:     count,
+		Events:     pelsEvents + beEvents,
 	}
 
 	run.BasePSNR = basePSNRCurve(trace, pelsFrames)
@@ -167,15 +171,16 @@ func figure10Testbed(cfg Figure10Config, level Figure10Level, bestEffort bool) T
 }
 
 // figure10Stream runs one full-stack simulation and returns flow 0's
-// post-warmup frame results plus the measured feedback loss.
-func figure10Stream(cfg Figure10Config, level Figure10Level, bestEffort bool) ([]fgs.FrameResult, float64, error) {
+// post-warmup frame results, the measured feedback loss, and the number
+// of simulator events processed.
+func figure10Stream(cfg Figure10Config, level Figure10Level, bestEffort bool) ([]fgs.FrameResult, float64, uint64, error) {
 	tcfg := figure10Testbed(cfg, level, bestEffort)
 	tb, err := NewTestbed(tcfg)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	if err := tb.Run(cfg.Duration); err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	frames := tb.Sinks[0].Frames()
 	if len(frames) > cfg.WarmupFrames {
@@ -185,7 +190,7 @@ func figure10Stream(cfg Figure10Config, level Figure10Level, bestEffort bool) ([
 		// The final frame may be cut off by the end of the run.
 		frames = frames[:len(frames)-1]
 	}
-	return frames, tb.MeasuredPELSLoss(cfg.Duration / 2), nil
+	return frames, tb.MeasuredPELSLoss(cfg.Duration / 2), tb.Eng.Processed(), nil
 }
 
 // framePSNR reconstructs per-frame PSNR, indexing the trace by each

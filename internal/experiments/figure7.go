@@ -26,6 +26,8 @@ type Figure7Run struct {
 	// RedLossTail is the red loss mean over the final half of the run;
 	// the target is p_thr.
 	RedLossTail, PThr float64
+	// Events is the number of simulator events this run processed.
+	Events uint64
 }
 
 // Figure7Config parameterizes the experiment.
@@ -75,6 +77,7 @@ func Figure7(cfg Figure7Config) ([]Figure7Run, error) {
 			GammaStar:     analysis.GammaFixedPoint(predicted, pthr),
 			RedLossTail:   tb.RedLossSeries.MeanAfter(cfg.Duration / 2),
 			PThr:          pthr,
+			Events:        tb.Eng.Processed(),
 		}
 		runs = append(runs, run)
 	}

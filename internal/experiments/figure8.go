@@ -27,6 +27,8 @@ type Figure8Result struct {
 	GreenSummary, YellowSummary, RedSummary stats.DelaySummary
 	NumFlows                                int
 	Duration                                time.Duration
+	// Events is the number of simulator events the run processed.
+	Events uint64
 }
 
 // Figure8Config parameterizes the staircase workload.
@@ -79,6 +81,7 @@ func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 		RedSummary:    stats.SummarizeDelays(tb.RedDelay.Values()),
 		NumFlows:      n,
 		Duration:      duration,
+		Events:        tb.Eng.Processed(),
 	}
 	for _, s := range tb.RedDelay.Samples() {
 		if s.Value > res.RedMax {

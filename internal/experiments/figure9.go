@@ -29,6 +29,8 @@ type Figure9Result struct {
 	// stay within 10% of each other (Jain-fair), or -1 if never.
 	ConvergedAt time.Duration
 	JoinAt      time.Duration
+	// Events is the number of simulator events the run processed.
+	Events uint64
 }
 
 // Figure9Config parameterizes the convergence run.
@@ -72,6 +74,7 @@ func Figure9(cfg Figure9Config) (*Figure9Result, error) {
 		F1Tail:   tb.RateSeries[0].MeanAfter(cfg.Duration * 3 / 4),
 		F2Tail:   tb.RateSeries[1].MeanAfter(cfg.Duration * 3 / 4),
 		JoinAt:   cfg.JoinAt,
+		Events:   tb.Eng.Processed(),
 	}
 	for _, s := range tb.RateSeries[0].Samples() {
 		if s.At < cfg.JoinAt && s.Value > res.F1Peak {

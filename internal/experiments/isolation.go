@@ -19,6 +19,9 @@ type IsolationResult struct {
 	TCPSweep []IsolationRow
 	// InternetShare and PELSShare are the WRR allocations (kb/s).
 	InternetShare, PELSShare float64
+	// Events is the number of simulator events processed across both
+	// sweeps.
+	Events uint64
 }
 
 // IsolationRow is one sweep point.
@@ -75,6 +78,7 @@ func Isolation(cfg IsolationConfig) (*IsolationResult, error) {
 		// PELS throughput measured over the second half via the router's
 		// rate series (arrivals at the bottleneck).
 		row.PELSThroughput = tb.FeedbackRate.MeanAfter(cfg.Duration / 2)
+		res.Events += tb.Eng.Processed()
 		return row, nil
 	}
 

@@ -24,6 +24,8 @@ type MixedPopulationResult struct {
 	// FairRate is what each flow would get in a homogeneous MKC
 	// population (eq. 10).
 	FairRate float64
+	// Events is the number of simulator events the run processed.
+	Events uint64
 }
 
 // MixedPopulationConfig parameterizes the run: half the flows run MKC,
@@ -69,6 +71,7 @@ func MixedPopulation(cfg MixedPopulationConfig) (*MixedPopulationResult, error) 
 	res := &MixedPopulationResult{
 		Names:    names,
 		FairRate: tb.StationaryRate().KbpsValue(),
+		Events:   tb.Eng.Processed(),
 	}
 	for i := 0; i < n; i++ {
 		res.Rates = append(res.Rates, tb.RateSeries[i].MeanAfter(cfg.Duration/2))

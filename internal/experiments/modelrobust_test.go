@@ -22,11 +22,11 @@ func TestFigure10RobustToQualityModel(t *testing.T) {
 	cfg.Duration = 100 * time.Second
 	level := cfg.Levels[0]
 
-	pelsFrames, _, err := figure10Stream(cfg, level, false)
+	pelsFrames, _, _, err := figure10Stream(cfg, level, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	beFrames, _, err := figure10Stream(cfg, level, true)
+	beFrames, _, _, err := figure10Stream(cfg, level, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,8 @@ type MultiBottleneckResult struct {
 	IDBefore, IDAfter int
 	R1ID, R2ID        int
 	ShiftAt           time.Duration
+	// Events is the number of simulator events the run processed.
+	Events uint64
 }
 
 // MultiBottleneckConfig parameterizes the experiment.
@@ -139,6 +141,7 @@ func MultiBottleneck(cfg MultiBottleneckConfig) (*MultiBottleneckResult, error) 
 	res.RateAfter = meanBetween(res.Rate, cfg.ShiftAt+(cfg.Duration-cfg.ShiftAt)*3/4, cfg.Duration)
 	res.IDBefore = dominantID(res.BottleneckID, cfg.ShiftAt/2, cfg.ShiftAt)
 	res.IDAfter = dominantID(res.BottleneckID, cfg.ShiftAt+(cfg.Duration-cfg.ShiftAt)/2, cfg.Duration)
+	res.Events = eng.Processed()
 	return res, nil
 }
 

@@ -29,6 +29,9 @@ type RDScalingResult struct {
 	// long-run rate (kb/s).
 	ConstantRate, RDRate float64
 	Frames               int
+	// Events is the number of simulator events processed across both
+	// scaler runs.
+	Events uint64
 }
 
 // RDScalingConfig parameterizes the comparison.
@@ -61,15 +64,15 @@ func RDScaling(cfg RDScalingConfig) (*RDScalingResult, error) {
 		Seed:         cfg.Seed,
 	}
 
-	run := func(scaler fgs.Scaler) ([]float64, float64, error) {
+	run := func(scaler fgs.Scaler) ([]float64, float64, uint64, error) {
 		tcfg := figure10Testbed(f10, cfg.Level, false)
 		tcfg.Session.Scaler = scaler
 		tb, err := NewTestbed(tcfg)
 		if err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		if err := tb.Run(cfg.Duration); err != nil {
-			return nil, 0, err
+			return nil, 0, 0, err
 		}
 		frames := tb.Sinks[0].Frames()
 		if len(frames) > cfg.WarmupFrames {
@@ -87,10 +90,10 @@ func RDScaling(cfg RDScalingConfig) (*RDScalingResult, error) {
 		model.MaxEnhBytes = spec.MaxEnhBytes()
 		psnr, _, _ := framePSNR(trace, model, spec, frames)
 		rate := tb.RateSeries[0].MeanAfter(cfg.Duration / 2)
-		return psnr, rate, nil
+		return psnr, rate, tb.Eng.Processed(), nil
 	}
 
-	constPSNR, constRate, err := run(fgs.ConstantScaler{})
+	constPSNR, constRate, constEvents, err := run(fgs.ConstantScaler{})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: rd-scaling constant: %w", err)
 	}
@@ -102,7 +105,7 @@ func RDScaling(cfg RDScalingConfig) (*RDScalingResult, error) {
 	rdScaler := fgs.NewRDScaler(func(frame int) float64 {
 		return trace.Frame(frame).Complexity
 	})
-	rdPSNR, rdRate, err := run(rdScaler)
+	rdPSNR, rdRate, rdEvents, err := run(rdScaler)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: rd-scaling rd-aware: %w", err)
 	}
@@ -124,6 +127,7 @@ func RDScaling(cfg RDScalingConfig) (*RDScalingResult, error) {
 		ConstantRate:   constRate,
 		RDRate:         rdRate,
 		Frames:         n,
+		Events:         constEvents + rdEvents,
 	}
 	return res, nil
 }

@@ -20,6 +20,8 @@ type RTTFairnessResult struct {
 	// JainIndex is Jain's fairness index over the tail rates (1 = exactly
 	// fair).
 	JainIndex float64
+	// Events is the number of simulator events the run processed.
+	Events uint64
 }
 
 // RTTFairnessConfig parameterizes the experiment.
@@ -58,6 +60,7 @@ func RTTFairness(cfg RTTFairnessConfig) (*RTTFairnessResult, error) {
 	res := &RTTFairnessResult{
 		Delays:   cfg.Delays,
 		FairRate: tb.StationaryRate().KbpsValue(),
+		Events:   tb.Eng.Processed(),
 	}
 	for _, rs := range tb.RateSeries {
 		res.Rates = append(res.Rates, rs.MeanAfter(cfg.Duration/2))

@@ -25,6 +25,8 @@ type UtilizationResult struct {
 	UsefulUtilization float64
 	// DeliveredUtilization = DeliveredBytes / TransmittedBytes.
 	DeliveredUtilization float64
+	// Events is the number of simulator events the run processed.
+	Events uint64
 }
 
 // UtilizationConfig parameterizes the comparison.
@@ -54,7 +56,7 @@ func Utilization(cfg UtilizationConfig) ([]UtilizationResult, error) {
 		if err := tb.Run(cfg.Duration); err != nil {
 			return nil, fmt.Errorf("experiments: utilization: %w", err)
 		}
-		res := UtilizationResult{Scheme: "pels"}
+		res := UtilizationResult{Scheme: "pels", Events: tb.Eng.Processed()}
 		if bestEffort {
 			res.Scheme = "best-effort"
 		}

@@ -1,0 +1,232 @@
+// Package runner executes named experiment jobs on a worker pool.
+//
+// Each job runs in its own goroutine with its own deterministic seed, so
+// the embarrassingly parallel structure of the benchmark suite (every
+// experiment owns an independent sim.Engine) maps directly onto the
+// machine's cores. The pool preserves three properties the bench depends
+// on:
+//
+//   - Determinism: results are returned indexed by submission order, not
+//     completion order, so formatted output is byte-identical whether the
+//     pool runs with 1 worker or N.
+//   - Isolation: a panicking job is recovered and reported as a failed
+//     Result; sibling jobs are unaffected.
+//   - Bounded time: a per-job wall-clock timeout turns a diverging
+//     simulation into a timeout error instead of a hung bench. The
+//     abandoned goroutine is leaked until it finishes on its own (the
+//     simulator has no preemption points), which is acceptable for a
+//     short-lived command-line process.
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Output is what a job's Run function produces on success.
+type Output struct {
+	// Text is the formatted, human-readable experiment result.
+	Text string
+	// Events is the number of simulator events the job processed
+	// (0 if the experiment does not report it).
+	Events uint64
+}
+
+// Job is one unit of work: an experiment run at a specific seed.
+type Job struct {
+	// Name identifies the experiment (registry name).
+	Name string
+	// Replica distinguishes seed replicas of the same experiment.
+	Replica int
+	// Seed is the simulation seed passed to Run.
+	Seed int64
+	// Timeout bounds this job's wall-clock time. Zero means "use the
+	// pool default"; a negative value disables the timeout entirely.
+	Timeout time.Duration
+	// Run executes the job. It must be self-contained: the pool calls it
+	// from a worker goroutine, so it must not share mutable state with
+	// other jobs.
+	Run func(seed int64) (Output, error)
+}
+
+// Result is the structured outcome of one job.
+type Result struct {
+	Name     string
+	Replica  int
+	Seed     int64
+	Duration time.Duration
+	Events   uint64
+	Text     string
+	Err      error
+	// Panicked reports that Err came from a recovered panic.
+	Panicked bool
+	// TimedOut reports that the job exceeded its wall-clock budget.
+	TimedOut bool
+}
+
+// OK reports whether the job completed without error.
+func (r Result) OK() bool { return r.Err == nil }
+
+// Pool fans jobs out across worker goroutines.
+type Pool struct {
+	// Workers is the number of jobs run concurrently. Values <= 0 mean
+	// runtime.NumCPU().
+	Workers int
+	// Timeout is the default per-job wall-clock limit; 0 disables it.
+	Timeout time.Duration
+}
+
+// Run executes all jobs and blocks until every one has completed, been
+// recovered from a panic, or timed out. The returned slice is indexed
+// exactly like jobs, so callers can emit output in submission order
+// regardless of the order in which jobs finished.
+func (p *Pool) Run(jobs []Job) []Result {
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]Result, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = p.execute(jobs[i])
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}
+
+// outcome carries a job's return values (or recovered panic) from the
+// job goroutine back to its supervising worker.
+type outcome struct {
+	out      Output
+	err      error
+	panicked bool
+}
+
+// execute runs one job under panic recovery and a wall-clock timeout.
+func (p *Pool) execute(job Job) Result {
+	res := Result{Name: job.Name, Replica: job.Replica, Seed: job.Seed}
+	timeout := job.Timeout
+	if timeout == 0 {
+		timeout = p.Timeout
+	}
+
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- outcome{
+					err:      fmt.Errorf("runner: job %s (seed %d) panicked: %v\n%s", job.Name, job.Seed, r, debug.Stack()),
+					panicked: true,
+				}
+			}
+		}()
+		out, err := job.Run(job.Seed)
+		done <- outcome{out: out, err: err}
+	}()
+
+	var expired <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		expired = t.C
+	}
+	select {
+	case o := <-done:
+		res.Duration = time.Since(start)
+		res.Text = o.out.Text
+		res.Events = o.out.Events
+		res.Err = o.err
+		res.Panicked = o.panicked
+	case <-expired:
+		res.Duration = time.Since(start)
+		res.TimedOut = true
+		res.Err = fmt.Errorf("runner: job %s (seed %d) timed out after %v", job.Name, job.Seed, timeout)
+	}
+	return res
+}
+
+// jsonResult is the stable on-disk schema for one Result.
+type jsonResult struct {
+	Name       string  `json:"name"`
+	Replica    int     `json:"replica"`
+	Seed       int64   `json:"seed"`
+	DurationMS float64 `json:"duration_ms"`
+	Events     uint64  `json:"events"`
+	OK         bool    `json:"ok"`
+	Error      string  `json:"error,omitempty"`
+	Panicked   bool    `json:"panicked,omitempty"`
+	TimedOut   bool    `json:"timed_out,omitempty"`
+}
+
+// WriteJSON emits results as an indented JSON array with a stable schema
+// (name, replica, seed, duration_ms, events, ok, error, panicked,
+// timed_out). Formatted experiment text is not included; it belongs to
+// stdout.
+func WriteJSON(w io.Writer, results []Result) error {
+	recs := make([]jsonResult, len(results))
+	for i, r := range results {
+		recs[i] = jsonResult{
+			Name:       r.Name,
+			Replica:    r.Replica,
+			Seed:       r.Seed,
+			DurationMS: float64(r.Duration) / float64(time.Millisecond),
+			Events:     r.Events,
+			OK:         r.OK(),
+			Panicked:   r.Panicked,
+			TimedOut:   r.TimedOut,
+		}
+		if r.Err != nil {
+			recs[i].Error = r.Err.Error()
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(recs)
+}
+
+// FormatSummary renders a per-job status table: name, replica, seed,
+// wall-clock duration, events processed, and ok/panic/timeout status.
+func FormatSummary(results []Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-8s %-8s %-12s %-12s %s\n",
+		"experiment", "replica", "seed", "wall", "events", "status")
+	for _, r := range results {
+		status := "ok"
+		switch {
+		case r.Panicked:
+			status = "PANIC"
+		case r.TimedOut:
+			status = "TIMEOUT"
+		case r.Err != nil:
+			status = "ERROR"
+		}
+		fmt.Fprintf(&b, "%-18s %-8d %-8d %-12s %-12d %s\n",
+			r.Name, r.Replica, r.Seed, r.Duration.Round(time.Millisecond), r.Events, status)
+	}
+	return b.String()
+}

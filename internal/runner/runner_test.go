@@ -1,0 +1,216 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+// deterministicJob derives its output purely from the seed, like every
+// registry experiment: same seed, same text, regardless of scheduling.
+func deterministicJob(name string, replica int, seed int64) Job {
+	return Job{
+		Name:    name,
+		Replica: replica,
+		Seed:    seed,
+		Run: func(seed int64) (Output, error) {
+			rng := rand.New(rand.NewSource(seed))
+			var b strings.Builder
+			for i := 0; i < 100; i++ {
+				fmt.Fprintf(&b, "%s %d %.6f\n", name, i, rng.Float64())
+			}
+			return Output{Text: b.String(), Events: uint64(seed) * 100}, nil
+		},
+	}
+}
+
+// TestParallelMatchesSerial is the core determinism guarantee: a pool
+// with many workers must produce byte-identical per-job output, in the
+// same order, as a pool with one worker.
+func TestParallelMatchesSerial(t *testing.T) {
+	var jobs []Job
+	for i := 0; i < 16; i++ {
+		jobs = append(jobs, deterministicJob(fmt.Sprintf("job%02d", i), 0, int64(i+1)))
+	}
+
+	serial := (&Pool{Workers: 1}).Run(jobs)
+	parallel := (&Pool{Workers: 8}).Run(jobs)
+
+	if len(serial) != len(jobs) || len(parallel) != len(jobs) {
+		t.Fatalf("result lengths: serial %d, parallel %d, want %d", len(serial), len(parallel), len(jobs))
+	}
+	for i := range jobs {
+		if serial[i].Name != jobs[i].Name || parallel[i].Name != jobs[i].Name {
+			t.Errorf("result %d out of order: serial %q, parallel %q, want %q",
+				i, serial[i].Name, parallel[i].Name, jobs[i].Name)
+		}
+		if serial[i].Text != parallel[i].Text {
+			t.Errorf("job %s: parallel text differs from serial", jobs[i].Name)
+		}
+		if serial[i].Events != parallel[i].Events {
+			t.Errorf("job %s: events %d (parallel) != %d (serial)",
+				jobs[i].Name, parallel[i].Events, serial[i].Events)
+		}
+	}
+}
+
+// TestPanicIsolation: one panicking job must be reported as a failed
+// result without affecting its siblings.
+func TestPanicIsolation(t *testing.T) {
+	jobs := []Job{
+		deterministicJob("before", 0, 1),
+		{
+			Name: "boom",
+			Seed: 2,
+			Run: func(seed int64) (Output, error) {
+				panic("simulated divergence")
+			},
+		},
+		deterministicJob("after", 0, 3),
+	}
+	results := (&Pool{Workers: 3}).Run(jobs)
+
+	if !results[0].OK() || !results[2].OK() {
+		t.Fatalf("sibling jobs affected by panic: %v / %v", results[0].Err, results[2].Err)
+	}
+	boom := results[1]
+	if boom.OK() || !boom.Panicked {
+		t.Fatalf("panicking job not reported: %+v", boom)
+	}
+	if !strings.Contains(boom.Err.Error(), "simulated divergence") {
+		t.Errorf("panic message lost: %v", boom.Err)
+	}
+	if !strings.Contains(boom.Err.Error(), "runner_test.go") {
+		t.Errorf("stack trace missing from panic error: %v", boom.Err)
+	}
+}
+
+// TestTimeout: a hung job must report a timeout while fast siblings
+// complete normally.
+func TestTimeout(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	jobs := []Job{
+		{
+			Name: "hung",
+			Seed: 1,
+			Run: func(seed int64) (Output, error) {
+				<-release
+				return Output{Text: "too late"}, nil
+			},
+		},
+		deterministicJob("fast", 0, 2),
+	}
+	results := (&Pool{Workers: 2, Timeout: 50 * time.Millisecond}).Run(jobs)
+
+	hung := results[0]
+	if !hung.TimedOut || hung.OK() {
+		t.Fatalf("hung job not timed out: %+v", hung)
+	}
+	if !strings.Contains(hung.Err.Error(), "timed out") {
+		t.Errorf("timeout error missing: %v", hung.Err)
+	}
+	if !results[1].OK() {
+		t.Errorf("fast sibling failed: %v", results[1].Err)
+	}
+}
+
+// TestPerJobTimeoutOverride: a job's own Timeout takes precedence over
+// the pool default, and a negative value disables the limit.
+func TestPerJobTimeoutOverride(t *testing.T) {
+	jobs := []Job{
+		{
+			Name:    "slow-but-allowed",
+			Seed:    1,
+			Timeout: -1, // no limit despite the tight pool default
+			Run: func(seed int64) (Output, error) {
+				time.Sleep(30 * time.Millisecond)
+				return Output{Text: "done"}, nil
+			},
+		},
+	}
+	results := (&Pool{Workers: 1, Timeout: 5 * time.Millisecond}).Run(jobs)
+	if !results[0].OK() {
+		t.Fatalf("job with disabled timeout failed: %+v", results[0])
+	}
+}
+
+// TestErrorReporting: a plain error is neither a panic nor a timeout.
+func TestErrorReporting(t *testing.T) {
+	jobs := []Job{{
+		Name: "err",
+		Seed: 7,
+		Run: func(seed int64) (Output, error) {
+			return Output{}, fmt.Errorf("model diverged at seed %d", seed)
+		},
+	}}
+	results := (&Pool{}).Run(jobs)
+	r := results[0]
+	if r.OK() || r.Panicked || r.TimedOut {
+		t.Fatalf("plain error misclassified: %+v", r)
+	}
+	if got := r.Err.Error(); !strings.Contains(got, "model diverged at seed 7") {
+		t.Errorf("error lost: %q", got)
+	}
+}
+
+// TestEmptyAndDefaults: zero jobs is fine, and Workers <= 0 falls back
+// to NumCPU without deadlocking.
+func TestEmptyAndDefaults(t *testing.T) {
+	if got := (&Pool{}).Run(nil); len(got) != 0 {
+		t.Fatalf("empty run returned %d results", len(got))
+	}
+	results := (&Pool{Workers: -3}).Run([]Job{deterministicJob("solo", 0, 1)})
+	if len(results) != 1 || !results[0].OK() {
+		t.Fatalf("default-worker run failed: %+v", results)
+	}
+}
+
+// TestWriteJSON: the JSON schema round-trips the structured fields.
+func TestWriteJSON(t *testing.T) {
+	results := []Result{
+		{Name: "a", Replica: 1, Seed: 42, Duration: 1500 * time.Millisecond, Events: 9000},
+		{Name: "b", Seed: 2, Err: fmt.Errorf("boom"), Panicked: true},
+		{Name: "c", Seed: 3, Err: fmt.Errorf("slow"), TimedOut: true},
+	}
+	var b strings.Builder
+	if err := WriteJSON(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if len(decoded) != 3 {
+		t.Fatalf("got %d records, want 3", len(decoded))
+	}
+	first := decoded[0]
+	if first["name"] != "a" || first["ok"] != true || first["duration_ms"] != 1500.0 || first["events"] != 9000.0 {
+		t.Errorf("first record wrong: %v", first)
+	}
+	if decoded[1]["panicked"] != true || decoded[1]["error"] != "boom" {
+		t.Errorf("panic record wrong: %v", decoded[1])
+	}
+	if decoded[2]["timed_out"] != true {
+		t.Errorf("timeout record wrong: %v", decoded[2])
+	}
+}
+
+// TestFormatSummary: the status column reflects the failure mode.
+func TestFormatSummary(t *testing.T) {
+	results := []Result{
+		{Name: "ok-job", Seed: 1},
+		{Name: "panic-job", Seed: 2, Err: fmt.Errorf("x"), Panicked: true},
+		{Name: "timeout-job", Seed: 3, Err: fmt.Errorf("x"), TimedOut: true},
+		{Name: "err-job", Seed: 4, Err: fmt.Errorf("x")},
+	}
+	out := FormatSummary(results)
+	for _, want := range []string{"ok-job", "PANIC", "TIMEOUT", "ERROR", "status"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
