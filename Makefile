@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short race fmt-check ci bench repro cover fuzz clean
+.PHONY: all build vet test test-short race fmt-check ci bench repro cover fuzz smoke clean
 
 all: build vet test
 
@@ -39,6 +39,17 @@ cover:
 
 fuzz:
 	go test -fuzz=FuzzDecoder -fuzztime=10s ./internal/fgs/
+	go test -run '^$$' -fuzz '^FuzzDecodeDatagram$$' -fuzztime=10s ./internal/wire/
+	go test -run '^$$' -fuzz '^FuzzHeaderRoundTrip$$' -fuzztime=10s ./internal/wire/
+
+# Live UDP loopback: stream pelsd -> pelsget on 127.0.0.1 and assert the
+# base layer survived untouched (the CI wire-smoke job).
+smoke:
+	go build -o /tmp/pelsd ./cmd/pelsd
+	go build -o /tmp/pelsget ./cmd/pelsget
+	/tmp/pelsd -addr 127.0.0.1:9000 -frames 200 -duration 30s & \
+	sleep 1; /tmp/pelsget -addr 127.0.0.1:9000 -duration 20s -max-green-loss 0; \
+	wait
 
 clean:
 	go clean ./...

@@ -168,7 +168,7 @@ func buildJobs(entries []experiments.Entry, baseSeed int64, replicas int, csvDir
 							return runner.Output{}, err
 						}
 					}
-					return runner.Output{Text: res.Output, Events: res.Events}, nil
+					return runner.Output{Text: res.Output, Events: res.Events, Metrics: res.Metrics}, nil
 				},
 			})
 			titles = append(titles, e.Title)

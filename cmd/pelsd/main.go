@@ -1,0 +1,198 @@
+// Command pelsd streams PELS-labeled FGS video over real UDP.
+//
+// It listens for a hello datagram from pelsget, then streams MaxFrames
+// frames to that peer. Outbound datagrams pass through an in-process
+// software bottleneck (wire.ShapedConn) whose marking gateway stamps
+// eq. 11 loss labels and enforces the PELS drop priorities — so a
+// single host pair observes the same congestion dynamics the simulator
+// models, without root privileges or qdisc setup.
+//
+// Usage:
+//
+//	pelsd [-addr 127.0.0.1:9000] [-capacity 3mbps] [-frames 300]
+//	      [-duration 0] [-epoch 10ms] [-queue 3000] [-link-delay 0]
+//	      [-packet 100] [-frame-packets 80] [-green 8]
+//	      [-frame-interval 10ms] [-alpha 150kbps] [-beta 0.5]
+//	      [-initial-rate 500kbps] [-flow 1]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/fgs"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pelsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9000", "UDP address to listen on")
+	capacity := flag.String("capacity", "3mbps", "software bottleneck bandwidth")
+	frames := flag.Int("frames", 300, "frames to stream (0 = until -duration or interrupt)")
+	duration := flag.Duration("duration", 0, "overall wall-clock limit (0 = none)")
+	epoch := flag.Duration("epoch", 10*time.Millisecond, "gateway feedback epoch")
+	queue := flag.Int("queue", 3000, "bottleneck queue bytes")
+	linkDelay := flag.Duration("link-delay", 0, "bottleneck one-way delay")
+	pktSize := flag.Int("packet", 100, "on-wire datagram size in bytes")
+	framePkts := flag.Int("frame-packets", 80, "packets in a full-quality frame")
+	greenPkts := flag.Int("green", 8, "base-layer (green) packets per frame")
+	frameInterval := flag.Duration("frame-interval", 10*time.Millisecond, "video frame period")
+	alpha := flag.String("alpha", "150kbps", "MKC additive step")
+	beta := flag.Float64("beta", 0.5, "MKC multiplicative gain")
+	initialRate := flag.String("initial-rate", "500kbps", "MKC starting rate")
+	flow := flag.Uint("flow", 1, "flow identifier")
+	flag.Parse()
+
+	cap, err := units.ParseBitRate(*capacity)
+	if err != nil {
+		return err
+	}
+	alphaRate, err := units.ParseBitRate(*alpha)
+	if err != nil {
+		return fmt.Errorf("-alpha: %w", err)
+	}
+	initRate, err := units.ParseBitRate(*initialRate)
+	if err != nil {
+		return fmt.Errorf("-initial-rate: %w", err)
+	}
+
+	conn, err := net.ListenPacket("udp", *addr)
+	if err != nil {
+		return err
+	}
+	gw := wire.NewGateway(wire.GatewayConfig{
+		RouterID: 1,
+		Interval: *epoch,
+		Capacity: cap,
+	})
+	shaped := wire.NewShapedConn(conn, wire.LinkConfig{
+		Bandwidth:  cap,
+		Delay:      *linkDelay,
+		QueueBytes: *queue,
+		Marker:     gw,
+	})
+	defer shaped.Close() // drains the bottleneck, then closes conn
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	fmt.Fprintf(os.Stderr, "pelsd: listening on %s, bottleneck %v, waiting for a receiver\n",
+		conn.LocalAddr(), cap)
+	peer, err := awaitHello(ctx, conn, uint32(*flow))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "pelsd: streaming to %s\n", peer)
+
+	sender, err := wire.NewSender(shaped, peer, wire.SenderConfig{
+		Flow: uint32(*flow),
+		Frame: fgs.FrameSpec{
+			PacketSize:   *pktSize,
+			TotalPackets: *framePkts,
+			GreenPackets: *greenPkts,
+		},
+		FrameInterval: *frameInterval,
+		MKC: cc.MKCConfig{
+			Alpha:       alphaRate,
+			Beta:        *beta,
+			InitialRate: initRate,
+			MinRate:     64 * units.Kbps,
+			DedupEpochs: true,
+		},
+		MaxFrames: *frames,
+	})
+	if err != nil {
+		return err
+	}
+
+	// Demultiplex the raw socket: the sender writes through the shaped
+	// bottleneck, but feedback arrives on the underlying conn directly.
+	demuxDone := make(chan struct{})
+	go func() {
+		defer close(demuxDone)
+		demux(ctx, conn, sender)
+	}()
+
+	runErr := sender.Run(ctx)
+	stop()
+	<-demuxDone
+
+	st := sender.Stats()
+	fmt.Printf("frames=%d datagrams=%d bytes=%d feedback_accepted=%d rate_bps=%.0f gamma=%.4f last_loss=%.4f\n",
+		st.Frames, st.Datagrams, st.Bytes, st.FeedbackAccepted,
+		float64(st.Rate), st.Gamma, st.LastLoss)
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		return runErr
+	}
+	return nil
+}
+
+// awaitHello blocks until a hello datagram for flow arrives, returning
+// the peer's address.
+func awaitHello(ctx context.Context, conn net.PacketConn, flow uint32) (net.Addr, error) {
+	buf := make([]byte, wire.MaxDatagram+1)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("no receiver connected: %w", err)
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, from, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				continue
+			}
+			return nil, err
+		}
+		h, _, err := wire.DecodeDatagram(buf[:n])
+		if err != nil || h.Type != wire.TypeHello {
+			continue
+		}
+		if flow != 0 && h.Flow != 0 && h.Flow != flow {
+			continue
+		}
+		return from, nil
+	}
+}
+
+// demux feeds feedback datagrams from the raw socket to the sender
+// until ctx is canceled. Duplicate hellos and noise are ignored.
+func demux(ctx context.Context, conn net.PacketConn, sender *wire.Sender) {
+	buf := make([]byte, wire.MaxDatagram+1)
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _, err := conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, os.ErrDeadlineExceeded) {
+				continue
+			}
+			return
+		}
+		h, _, err := wire.DecodeDatagram(buf[:n])
+		if err != nil || h.Type != wire.TypeFeedback {
+			continue
+		}
+		sender.HandleFeedback(h.Feedback)
+	}
+}

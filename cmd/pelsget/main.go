@@ -1,0 +1,143 @@
+// Command pelsget receives a PELS stream from pelsd and reports
+// per-color delivery statistics.
+//
+// It sends hello datagrams to the server until data flows, echoes every
+// fresh router label back as feedback (closing the MKC/γ control
+// loops), and prints key=value statistics on exit — one line per color
+// plus stream totals — so scripts and CI can assert on the result
+// (e.g. grep '^green .*lost=0'). With -max-green-loss set, the exit
+// status enforces the base-layer protection property directly.
+//
+// Usage:
+//
+//	pelsget [-addr 127.0.0.1:9000] [-duration 10s] [-idle 1s]
+//	        [-flow 1] [-max-green-loss -1]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/wire"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pelsget:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", "127.0.0.1:9000", "pelsd address")
+	duration := flag.Duration("duration", 10*time.Second, "overall wall-clock limit (0 = until idle or interrupt)")
+	idle := flag.Duration("idle", time.Second, "exit after this long without traffic once the stream started")
+	flow := flag.Uint("flow", 1, "flow identifier")
+	maxGreenLoss := flag.Float64("max-green-loss", -1,
+		"fail (exit 1) if green loss rate exceeds this; negative disables the check")
+	flag.Parse()
+
+	raddr, err := net.ResolveUDPAddr("udp", *addr)
+	if err != nil {
+		return err
+	}
+	conn, err := net.ListenPacket("udp", ":0")
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	recv := wire.NewReceiver(conn, wire.ReceiverConfig{Peer: raddr, Flow: uint32(*flow)})
+	recvDone := make(chan error, 1)
+	go func() { recvDone <- recv.Run(ctx) }()
+
+	hello, err := wire.EncodeDatagram(wire.Header{
+		Type:  wire.TypeHello,
+		Color: packet.ACK,
+		Flow:  uint32(*flow),
+	}, nil)
+	if err != nil {
+		return err
+	}
+
+	// Re-send the hello until data flows (it may race the server start
+	// or be lost), then watch for the stream to end: no traffic for
+	// -idle after at least one datagram arrived.
+	tick := time.NewTicker(200 * time.Millisecond)
+	defer tick.Stop()
+	var lastCount uint64
+	var lastProgress time.Time
+	started := false
+watch:
+	for {
+		select {
+		case <-ctx.Done():
+			break watch
+		case now := <-tick.C:
+			st := recv.Stats()
+			switch {
+			case st.Datagrams == 0:
+				if _, err := conn.WriteTo(hello, raddr); err != nil {
+					stop()
+					return fmt.Errorf("send hello: %w", err)
+				}
+			case !started || st.Datagrams > lastCount:
+				started = true
+				lastCount = st.Datagrams
+				lastProgress = now
+			case now.Sub(lastProgress) >= *idle:
+				break watch
+			}
+		}
+	}
+	stop()
+	<-recvDone
+
+	st := recv.Stats()
+	if st.Datagrams == 0 {
+		return fmt.Errorf("no data received from %s", *addr)
+	}
+	fmt.Print(formatStats(st))
+
+	if *maxGreenLoss >= 0 {
+		if loss := st.Colors[packet.Green].LossRate(); loss > *maxGreenLoss {
+			return fmt.Errorf("green loss %.4f exceeds -max-green-loss %.4f", loss, *maxGreenLoss)
+		}
+	}
+	return nil
+}
+
+// formatStats renders the receiver counters as stable key=value lines.
+func formatStats(st wire.ReceiverStats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "stream datagrams=%d bytes=%d frames=%d epochs=%d goodput_bps=%.0f feedback_sent=%d decode_errors=%d\n",
+		st.Datagrams, st.Bytes, st.Frames, st.Epochs,
+		float64(st.Goodput()), st.FeedbackSent, st.DecodeErrors)
+	colors := make([]packet.Color, 0, len(st.Colors))
+	for c := range st.Colors {
+		colors = append(colors, c)
+	}
+	sort.Slice(colors, func(i, j int) bool { return colors[i] < colors[j] })
+	for _, c := range colors {
+		cc := st.Colors[c]
+		fmt.Fprintf(&b, "%s received=%d lost=%d loss=%.4f\n",
+			strings.ToLower(c.String()), cc.Received, cc.Lost, cc.LossRate())
+	}
+	return b.String()
+}

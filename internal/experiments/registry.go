@@ -25,7 +25,12 @@ type Result struct {
 	Artifacts []Artifact
 	// Events is the total number of simulator events processed across
 	// the testbeds the experiment ran (0 for closed-form experiments).
+	// Wall-clock experiments (wire-loopback) report datagram counts here.
 	Events uint64
+	// Metrics are named scalar outcomes surfaced through pelsbench
+	// -json (goodput, per-color loss, …). Nil for experiments whose
+	// results live in Output text alone.
+	Metrics map[string]float64
 }
 
 // Entry is one registered experiment: a stable name, a human title for
@@ -263,6 +268,23 @@ func Registry() []Entry {
 					return Result{}, err
 				}
 				return Result{Output: FormatMixedPopulation(res), Events: res.Events}, nil
+			},
+		},
+		{
+			Name:  "wire-loopback",
+			Title: "Wire loopback — live UDP stack over the in-process emulator",
+			Run: func(seed int64) (Result, error) {
+				cfg := DefaultWireLoopbackConfig()
+				cfg.Seed = seed
+				res, err := WireLoopback(cfg)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Output:  FormatWireLoopback(res),
+					Events:  res.Datagrams(),
+					Metrics: res.Metrics(),
+				}, nil
 			},
 		},
 		{

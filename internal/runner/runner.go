@@ -36,6 +36,9 @@ type Output struct {
 	// Events is the number of simulator events the job processed
 	// (0 if the experiment does not report it).
 	Events uint64
+	// Metrics are named scalar outcomes (goodput, loss rates, …) the
+	// job wants surfaced in machine-readable output. May be nil.
+	Metrics map[string]float64
 }
 
 // Job is one unit of work: an experiment run at a specific seed.
@@ -63,7 +66,10 @@ type Result struct {
 	Duration time.Duration
 	Events   uint64
 	Text     string
-	Err      error
+	// Metrics are the job's named scalar outcomes (nil when the job
+	// reported none, failed, or timed out).
+	Metrics map[string]float64
+	Err     error
 	// Panicked reports that Err came from a recovered panic.
 	Panicked bool
 	// TimedOut reports that the job exceeded its wall-clock budget.
@@ -160,6 +166,7 @@ func (p *Pool) execute(job Job) Result {
 		res.Duration = time.Since(start)
 		res.Text = o.out.Text
 		res.Events = o.out.Events
+		res.Metrics = o.out.Metrics
 		res.Err = o.err
 		res.Panicked = o.panicked
 	case <-expired:
@@ -172,21 +179,23 @@ func (p *Pool) execute(job Job) Result {
 
 // jsonResult is the stable on-disk schema for one Result.
 type jsonResult struct {
-	Name       string  `json:"name"`
-	Replica    int     `json:"replica"`
-	Seed       int64   `json:"seed"`
-	DurationMS float64 `json:"duration_ms"`
-	Events     uint64  `json:"events"`
-	OK         bool    `json:"ok"`
-	Error      string  `json:"error,omitempty"`
-	Panicked   bool    `json:"panicked,omitempty"`
-	TimedOut   bool    `json:"timed_out,omitempty"`
+	Name       string             `json:"name"`
+	Replica    int                `json:"replica"`
+	Seed       int64              `json:"seed"`
+	DurationMS float64            `json:"duration_ms"`
+	Events     uint64             `json:"events"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	OK         bool               `json:"ok"`
+	Error      string             `json:"error,omitempty"`
+	Panicked   bool               `json:"panicked,omitempty"`
+	TimedOut   bool               `json:"timed_out,omitempty"`
 }
 
 // WriteJSON emits results as an indented JSON array with a stable schema
-// (name, replica, seed, duration_ms, events, ok, error, panicked,
-// timed_out). Formatted experiment text is not included; it belongs to
-// stdout.
+// (name, replica, seed, duration_ms, events, metrics, ok, error,
+// panicked, timed_out). Go maps marshal with sorted keys, so metrics
+// output is deterministic. Formatted experiment text is not included; it
+// belongs to stdout.
 func WriteJSON(w io.Writer, results []Result) error {
 	recs := make([]jsonResult, len(results))
 	for i, r := range results {
@@ -196,6 +205,7 @@ func WriteJSON(w io.Writer, results []Result) error {
 			Seed:       r.Seed,
 			DurationMS: float64(r.Duration) / float64(time.Millisecond),
 			Events:     r.Events,
+			Metrics:    r.Metrics,
 			OK:         r.OK(),
 			Panicked:   r.Panicked,
 			TimedOut:   r.TimedOut,

@@ -214,3 +214,53 @@ func TestFormatSummary(t *testing.T) {
 		}
 	}
 }
+
+// TestMetricsPropagate: named scalars returned by a job surface on its
+// Result and in the JSON schema under "metrics" with sorted keys; jobs
+// without metrics omit the field entirely.
+func TestMetricsPropagate(t *testing.T) {
+	pool := Pool{Workers: 1}
+	results := pool.Run([]Job{
+		{
+			Name: "with-metrics", Seed: 1,
+			Run: func(seed int64) (Output, error) {
+				return Output{
+					Text:    "ok",
+					Events:  7,
+					Metrics: map[string]float64{"goodput_bps": 3e6, "green_loss": 0},
+				}, nil
+			},
+		},
+		{
+			Name: "without-metrics", Seed: 2,
+			Run: func(seed int64) (Output, error) {
+				return Output{Text: "ok"}, nil
+			},
+		},
+	})
+	if got := results[0].Metrics["goodput_bps"]; got != 3e6 {
+		t.Fatalf("metrics not propagated: %v", results[0].Metrics)
+	}
+	if results[1].Metrics != nil {
+		t.Fatalf("unexpected metrics on metric-less job: %v", results[1].Metrics)
+	}
+
+	var b strings.Builder
+	if err := WriteJSON(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	metrics, ok := decoded[0]["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("first record has no metrics object: %v", decoded[0])
+	}
+	if metrics["goodput_bps"] != 3e6 || metrics["green_loss"] != 0.0 {
+		t.Errorf("metrics wrong in JSON: %v", metrics)
+	}
+	if _, present := decoded[1]["metrics"]; present {
+		t.Errorf("metric-less record should omit metrics: %v", decoded[1])
+	}
+}

@@ -6,6 +6,8 @@ package units
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"time"
 )
 
@@ -60,6 +62,39 @@ func (r BitRate) String() string {
 	default:
 		return fmt.Sprintf("%.0f b/s", float64(r))
 	}
+}
+
+// ParseBitRate parses a human-friendly rate such as "3mbps", "500kbps",
+// "2.5Mbps", or a bare number of bits per second ("64000"). Unit
+// suffixes are case-insensitive and accept the bps/bit forms kbps, mbps,
+// gbps, and bps. The rate must be positive and finite.
+func ParseBitRate(s string) (BitRate, error) {
+	orig := s
+	s = strings.ToLower(strings.TrimSpace(s))
+	unit := BitPerSecond
+	for _, u := range []struct {
+		suffix string
+		rate   BitRate
+	}{
+		{"kbps", Kbps}, {"kbit/s", Kbps}, {"kb/s", Kbps},
+		{"mbps", Mbps}, {"mbit/s", Mbps}, {"mb/s", Mbps},
+		{"gbps", Gbps}, {"gbit/s", Gbps}, {"gb/s", Gbps},
+		{"bps", BitPerSecond}, {"bit/s", BitPerSecond}, {"b/s", BitPerSecond},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			s, unit = strings.TrimSpace(strings.TrimSuffix(s, u.suffix)), u.rate
+			break
+		}
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: cannot parse bit rate %q", orig)
+	}
+	r := BitRate(v) * unit
+	if !(r > 0) || r > 1e15 {
+		return 0, fmt.Errorf("units: bit rate %q out of range", orig)
+	}
+	return r, nil
 }
 
 // RateFromBytes returns the average rate of sizeBytes transferred over d.

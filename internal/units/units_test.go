@@ -98,3 +98,36 @@ func TestString(t *testing.T) {
 		}
 	}
 }
+
+// TestParseBitRate covers the suffix forms the CLI flags accept and the
+// rejection of malformed or non-positive rates.
+func TestParseBitRate(t *testing.T) {
+	ok := []struct {
+		in   string
+		want BitRate
+	}{
+		{"3mbps", 3 * Mbps},
+		{"2.5Mbps", 2.5 * Mbps},
+		{"500kbps", 500 * Kbps},
+		{" 1 gbps ", Gbps},
+		{"64000", 64000},
+		{"750bps", 750},
+		{"1.5mbit/s", 1.5 * Mbps},
+		{"800kb/s", 800 * Kbps},
+	}
+	for _, c := range ok {
+		got, err := ParseBitRate(c.in)
+		if err != nil {
+			t.Errorf("ParseBitRate(%q): %v", c.in, err)
+			continue
+		}
+		if diff := float64(got - c.want); diff > 1e-9 || diff < -1e-9 {
+			t.Errorf("ParseBitRate(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, in := range []string{"", "fast", "mbps", "-3mbps", "0", "0kbps", "1e300mbps", "NaN"} {
+		if got, err := ParseBitRate(in); err == nil {
+			t.Errorf("ParseBitRate(%q) = %v, want error", in, got)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+func sampleHeader() Header {
+	return Header{
+		Type:      TypeData,
+		Color:     packet.Yellow,
+		Flow:      7,
+		Frame:     1234,
+		Index:     42,
+		Seq:       1 << 40,
+		Timestamp: 1700000000123456789,
+		Feedback:  packet.Feedback{RouterID: 3, Epoch: 99, Loss: 0.0625, Valid: true},
+	}
+}
+
+// TestCodecRoundTrip: every field survives encode → decode, and the
+// payload comes back byte-identical.
+func TestCodecRoundTrip(t *testing.T) {
+	h := sampleHeader()
+	payload := []byte("enhancement layer bits")
+	b, err := EncodeDatagram(h, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != HeaderSize+len(payload) {
+		t.Fatalf("encoded %d bytes, want %d", len(b), HeaderSize+len(payload))
+	}
+	got, gotPayload, err := DecodeDatagram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != h {
+		t.Errorf("decoded header %+v, want %+v", got, h)
+	}
+	if !bytes.Equal(gotPayload, payload) {
+		t.Errorf("payload mismatch")
+	}
+}
+
+// TestCodecCanonical: a successful decode re-encodes to the exact input
+// bytes — the property the fuzzer leans on and routers need for in-place
+// patching.
+func TestCodecCanonical(t *testing.T) {
+	for _, h := range []Header{
+		sampleHeader(),
+		{Type: TypeFeedback, Color: packet.ACK, Seq: 9, Feedback: packet.Feedback{RouterID: -1, Epoch: 1, Loss: -2, Valid: true}},
+		{Type: TypeHello, Color: packet.ACK},
+		{Type: TypeData, Color: packet.BestEffort, Timestamp: -5},
+	} {
+		b, err := EncodeDatagram(h, []byte{1, 2, 3})
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		got, payload, err := DecodeDatagram(b)
+		if err != nil {
+			t.Fatalf("%+v: %v", h, err)
+		}
+		re, err := EncodeDatagram(got, payload)
+		if err != nil {
+			t.Fatalf("%+v: re-encode: %v", h, err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Errorf("%+v: re-encode differs from original", h)
+		}
+	}
+}
+
+// TestDecodeRejects: malformed datagrams come back as typed errors,
+// never panics or silent acceptance.
+func TestDecodeRejects(t *testing.T) {
+	valid, err := EncodeDatagram(sampleHeader(), []byte("xyz"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mangle func([]byte) []byte
+		want   error
+	}{
+		{"empty", func(b []byte) []byte { return nil }, ErrTruncated},
+		{"truncated header", func(b []byte) []byte { return b[:HeaderSize-1] }, ErrTruncated},
+		{"truncated payload", func(b []byte) []byte { return b[:len(b)-1] }, ErrLength},
+		{"trailing junk", func(b []byte) []byte { return append(b, 0) }, ErrLength},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrMagic},
+		{"bad version", func(b []byte) []byte { b[offVersion] = 9; return b }, ErrVersion},
+		{"bad type", func(b []byte) []byte { b[offType] = 200; return b }, ErrType},
+		{"bad color", func(b []byte) []byte { b[offColor] = 0; return b }, ErrColor},
+		{"ack-colored data", func(b []byte) []byte { b[offColor] = byte(packet.ACK); return b }, ErrColor},
+		{"reserved flags", func(b []byte) []byte { b[offFlags] |= 0x80; return b }, ErrFlags},
+		{"oversized claim", func(b []byte) []byte {
+			b[offPayload] = 0xFF
+			b[offPayload+1] = 0xFF
+			return b
+		}, ErrOversized},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), valid...)
+		b = tc.mangle(b)
+		if _, _, err := DecodeDatagram(b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecodeRejectsNaNLoss: a valid-flagged label must carry finite
+// loss, or it would poison the MKC update r − βrp.
+func TestDecodeRejectsNaNLoss(t *testing.T) {
+	for _, bad := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		h := sampleHeader()
+		h.Feedback.Loss = bad
+		if _, err := EncodeDatagram(h, nil); !errors.Is(err, ErrLoss) {
+			t.Errorf("encode accepted loss %v", bad)
+		}
+	}
+	// Garbage loss bits under an invalid label are harmless and must
+	// round-trip (consumers check Valid first).
+	h := sampleHeader()
+	h.Feedback = packet.Feedback{Loss: math.Inf(1)}
+	b, err := EncodeDatagram(h, nil)
+	if err != nil {
+		t.Fatalf("invalid-label inf loss rejected: %v", err)
+	}
+	if _, _, err := DecodeDatagram(b); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+// TestEncodeRejectsOversized: payloads beyond MaxPayload fail fast.
+func TestEncodeRejectsOversized(t *testing.T) {
+	if _, err := EncodeDatagram(sampleHeader(), make([]byte, MaxPayload+1)); !errors.Is(err, ErrOversized) {
+		t.Errorf("got %v, want ErrOversized", err)
+	}
+	if _, err := EncodeDatagram(sampleHeader(), make([]byte, MaxPayload)); err != nil {
+		t.Errorf("exactly MaxPayload rejected: %v", err)
+	}
+}
+
+// TestPeekColor matches the full decode on valid data and refuses
+// non-data datagrams.
+func TestPeekColor(t *testing.T) {
+	b, _ := EncodeDatagram(sampleHeader(), nil)
+	if c, ok := PeekColor(b); !ok || c != packet.Yellow {
+		t.Errorf("PeekColor = %v,%v, want yellow,true", c, ok)
+	}
+	fb, _ := EncodeDatagram(Header{Type: TypeFeedback, Color: packet.ACK}, nil)
+	if _, ok := PeekColor(fb); ok {
+		t.Error("PeekColor accepted a feedback datagram")
+	}
+	if _, ok := PeekColor(b[:10]); ok {
+		t.Error("PeekColor accepted a truncated datagram")
+	}
+}
+
+// TestStampFeedback: stamping follows the max-loss override of eq. 8 and
+// patches in place without disturbing other fields.
+func TestStampFeedback(t *testing.T) {
+	h := sampleHeader()
+	h.Feedback = packet.Feedback{}
+	b, _ := EncodeDatagram(h, []byte("p"))
+
+	// First stamp always lands (no label yet).
+	if err := StampFeedback(b, packet.Feedback{RouterID: 1, Epoch: 5, Loss: 0.1, Valid: true}); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeDatagram(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := packet.Feedback{RouterID: 1, Epoch: 5, Loss: 0.1, Valid: true}
+	if got.Feedback != want {
+		t.Fatalf("after first stamp: %+v", got.Feedback)
+	}
+	if got.Seq != h.Seq || got.Frame != h.Frame || got.Color != h.Color {
+		t.Fatalf("stamping disturbed other fields: %+v", got)
+	}
+
+	// A smaller loss from another router does not override.
+	_ = StampFeedback(b, packet.Feedback{RouterID: 2, Epoch: 9, Loss: 0.05, Valid: true})
+	got, _, _ = DecodeDatagram(b)
+	if got.Feedback != want {
+		t.Errorf("smaller loss overrode: %+v", got.Feedback)
+	}
+
+	// A larger loss does; so does the same router refreshing its epoch.
+	_ = StampFeedback(b, packet.Feedback{RouterID: 2, Epoch: 9, Loss: 0.5, Valid: true})
+	got, _, _ = DecodeDatagram(b)
+	if got.Feedback.RouterID != 2 || got.Feedback.Loss != 0.5 {
+		t.Errorf("larger loss did not override: %+v", got.Feedback)
+	}
+	_ = StampFeedback(b, packet.Feedback{RouterID: 2, Epoch: 10, Loss: 0.2, Valid: true})
+	got, _, _ = DecodeDatagram(b)
+	if got.Feedback.Epoch != 10 || got.Feedback.Loss != 0.2 {
+		t.Errorf("own-router refresh did not land: %+v", got.Feedback)
+	}
+
+	if err := StampFeedback(b[:8], packet.Feedback{Valid: true}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("truncated stamp: %v", err)
+	}
+}

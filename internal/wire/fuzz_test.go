@@ -1,0 +1,99 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// FuzzDecodeDatagram feeds arbitrary bytes to the decoder. The contract:
+// never panic, reject with an error or decode to a header that re-encodes
+// byte-identically (the canonical-form property routers rely on for
+// in-place stamping).
+func FuzzDecodeDatagram(f *testing.F) {
+	// Seed corpus: valid datagrams of every type, plus hostile shapes.
+	seeds := []Header{
+		{Type: TypeData, Color: packet.Green, Flow: 1, Frame: 2, Index: 3, Seq: 4, Timestamp: 5},
+		{Type: TypeData, Color: packet.Red, Feedback: packet.Feedback{RouterID: 7, Epoch: 8, Loss: 0.25, Valid: true}},
+		{Type: TypeFeedback, Color: packet.ACK, Seq: 1, Feedback: packet.Feedback{RouterID: -3, Epoch: 2, Loss: -2, Valid: true}},
+		{Type: TypeHello, Color: packet.ACK},
+	}
+	for _, h := range seeds {
+		b, err := EncodeDatagram(h, []byte("payload"))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		f.Add(b[:HeaderSize])   // empty payload mismatch
+		f.Add(b[:HeaderSize-3]) // truncated header
+	}
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0xFF}, MaxDatagram+10)) // oversized garbage
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, payload, err := DecodeDatagram(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeDatagram(h, payload)
+		if err != nil {
+			t.Fatalf("decoded header failed to re-encode: %+v: %v", h, err)
+		}
+		if !bytes.Equal(re, data) {
+			t.Fatalf("decode/encode not canonical:\n in: %x\nout: %x", data, re)
+		}
+		// Stamping a decodable datagram must never fail or panic.
+		if err := StampFeedback(re, packet.Feedback{RouterID: 1, Epoch: 1, Loss: 3, Valid: true}); err != nil {
+			t.Fatalf("stamp on valid datagram: %v", err)
+		}
+		if _, _, err := DecodeDatagram(re); err != nil {
+			t.Fatalf("stamped datagram no longer decodes: %v", err)
+		}
+	})
+}
+
+// FuzzHeaderRoundTrip drives the encoder with arbitrary field values:
+// whatever Encode accepts must decode back to the identical header.
+func FuzzHeaderRoundTrip(f *testing.F) {
+	f.Add(uint8(1), uint8(1), uint32(1), uint32(0), uint16(0), uint64(0), int64(0), int32(0), uint64(0), 0.0, true, []byte(nil))
+	f.Add(uint8(2), uint8(6), uint32(0), uint32(9), uint16(3), uint64(1<<63), int64(-1), int32(-5), uint64(12), -2.0, true, []byte("x"))
+	f.Add(uint8(3), uint8(6), uint32(7), uint32(0), uint16(0), uint64(0), int64(1), int32(0), uint64(0), 0.5, false, []byte("abc"))
+	f.Add(uint8(1), uint8(4), uint32(2), uint32(3), uint16(4), uint64(5), int64(6), int32(7), uint64(8), 1e300, false, make([]byte, MaxPayload))
+
+	f.Fuzz(func(t *testing.T, typ, color uint8, flow, frame uint32, index uint16,
+		seq uint64, ts int64, router int32, epoch uint64, loss float64, valid bool, payload []byte) {
+		h := Header{
+			Type:      Type(typ),
+			Color:     packet.Color(color),
+			Flow:      flow,
+			Frame:     frame,
+			Index:     index,
+			Seq:       seq,
+			Timestamp: ts,
+			Feedback:  packet.Feedback{RouterID: int(router), Epoch: epoch, Loss: loss, Valid: valid},
+		}
+		b, err := EncodeDatagram(h, payload)
+		if err != nil {
+			return // invalid combinations are rejected, not encoded
+		}
+		got, gotPayload, err := DecodeDatagram(b)
+		if err != nil {
+			t.Fatalf("encoded datagram failed to decode: %+v: %v", h, err)
+		}
+		// Compare loss by bit pattern: an invalid label may carry NaN,
+		// which is != itself but must still round-trip bit-exactly.
+		if math.Float64bits(got.Feedback.Loss) != math.Float64bits(h.Feedback.Loss) {
+			t.Fatalf("round trip changed loss bits: in %x out %x",
+				math.Float64bits(h.Feedback.Loss), math.Float64bits(got.Feedback.Loss))
+		}
+		got.Feedback.Loss, h.Feedback.Loss = 0, 0
+		if got != h {
+			t.Fatalf("round trip changed header:\n in: %+v\nout: %+v", h, got)
+		}
+		if !bytes.Equal(gotPayload, payload) {
+			t.Fatal("round trip changed payload")
+		}
+	})
+}

@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/fgs"
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// TestLiveLoopbackConvergence is the end-to-end acceptance test of the
+// live stack: a Sender streams >= 300 FGS frames through the emulated
+// bottleneck (capacity 3 Mbit/s, marking gateway, priority-drop queue)
+// while the Receiver echoes feedback on the reverse path. Over the
+// converged second half of the stream it asserts the three PELS
+// invariants the paper proves:
+//
+//   - green loss is exactly zero (priority drops spare the base layer),
+//   - red loss converges near p_thr (the γ loop, Lemma 4),
+//   - goodput is within 10% of the bottleneck capacity (MKC holds the
+//     link at C, eq. 10).
+//
+// The only random process (emulated loss) is seeded and set to zero —
+// congestion is injected by the bandwidth bottleneck itself — so the
+// assertions are deterministic across runs; wall-clock jitter moves
+// individual packet timings but not the converged averages, which is the
+// point of the absolute-deadline link and the self-correcting pacer.
+func TestLiveLoopbackConvergence(t *testing.T) {
+	const (
+		capacity  = 3 * units.Mbps
+		interval  = 10 * time.Millisecond
+		maxFrames = 320
+		pThr      = 0.75
+	)
+	gw := NewGateway(GatewayConfig{
+		RouterID: 1,
+		Interval: interval,
+		Capacity: capacity,
+	})
+	emu := NewEmulator(EmulatorConfig{
+		AtoB: LinkConfig{
+			Bandwidth:  capacity,
+			Delay:      2 * time.Millisecond,
+			QueueBytes: 3000,
+			Seed:       1,
+			Marker:     gw,
+		},
+		BtoA: LinkConfig{Delay: 2 * time.Millisecond},
+	})
+	defer emu.Close()
+
+	// Small wire packets (100 B) keep the γ quantization fine: at the
+	// stationary point r* = C + α/β = 3.3 Mbit/s a frame carries ~41
+	// packets, of which γ*·41 ≈ 5 are red — enough granularity for red
+	// loss to settle at p*/γ* = p_thr.
+	cfg := SenderConfig{
+		Flow: 1,
+		Frame: fgs.FrameSpec{
+			PacketSize:   100,
+			TotalPackets: 80, // R_max = 6.4 Mbit/s, headroom above r*
+			GreenPackets: 8,  // base layer 640 kbit/s << C
+		},
+		FrameInterval: interval,
+		MKC: cc.MKCConfig{
+			Alpha:       150 * units.Kbps,
+			Beta:        0.5,
+			InitialRate: 500 * units.Kbps,
+			MinRate:     64 * units.Kbps,
+			DedupEpochs: true,
+		},
+		Gamma:      fgs.DefaultGammaConfig(),
+		BurstBytes: 1600,
+		MaxFrames:  maxFrames,
+	}
+	sender, err := NewSender(emu.A(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := NewReceiver(emu.B(), ReceiverConfig{Flow: 1})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { defer wg.Done(); _ = recv.Run(ctx) }()
+	go func() { defer wg.Done(); _ = sender.ServeFeedback(ctx) }()
+
+	// Snapshot once the first half has streamed, so the assertions below
+	// cover only the converged regime.
+	midCh := make(chan ReceiverStats, 1)
+	go func() {
+		for {
+			st := recv.Stats()
+			if st.Frames >= maxFrames/2 {
+				midCh <- st
+				return
+			}
+			select {
+			case <-ctx.Done():
+				midCh <- st
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+		}
+	}()
+
+	if err := sender.Run(ctx); err != nil {
+		t.Fatalf("sender: %v", err)
+	}
+	time.Sleep(150 * time.Millisecond) // drain the queue and the delay line
+	mid := <-midCh
+	end := recv.Stats()
+	cancel()
+	wg.Wait()
+
+	if end.Frames < 300 {
+		t.Fatalf("receiver saw %d frames, want >= 300", end.Frames)
+	}
+	if mid.Frames >= end.Frames {
+		t.Fatalf("mid snapshot (%d frames) not before end (%d)", mid.Frames, end.Frames)
+	}
+
+	// Invariant 1: the base layer survives congestion untouched.
+	if green := end.Colors[packet.Green]; green.Lost != 0 || green.Received == 0 {
+		t.Errorf("green: %+v, want zero loss and nonzero traffic", green)
+	}
+
+	// Invariant 2: red loss over the converged half sits near p_thr.
+	redLoss := windowLoss(mid.Colors[packet.Red], end.Colors[packet.Red])
+	if math.Abs(redLoss-pThr) > 0.25 {
+		t.Errorf("converged red loss %.3f, want near p_thr = %.2f", redLoss, pThr)
+	}
+	// And red did lose packets — the probes probed.
+	if end.Colors[packet.Red].Lost == 0 {
+		t.Error("no red loss at all: the bottleneck never engaged")
+	}
+
+	// Invariant 3: goodput over the converged half is within 10% of the
+	// bottleneck capacity.
+	elapsed := end.LastAt.Sub(mid.LastAt)
+	goodput := units.RateFromBytes(int64(end.Bytes-mid.Bytes), elapsed)
+	if goodput < 0.9*capacity || goodput > 1.1*capacity {
+		t.Errorf("converged goodput %v over %v, want within 10%% of %v",
+			goodput, elapsed.Round(time.Millisecond), units.BitRate(capacity))
+	}
+
+	// The feedback loop actually ran: epochs advanced and the sender
+	// accepted them.
+	ss := sender.Stats()
+	if ss.FeedbackAccepted < 50 {
+		t.Errorf("sender accepted only %d feedback labels", ss.FeedbackAccepted)
+	}
+	if end.Epochs < 50 {
+		t.Errorf("receiver observed only %d epochs", end.Epochs)
+	}
+	// γ converged below its 0.5 start toward γ* = p*/p_thr ≈ 0.12.
+	if ss.Gamma > 0.4 || ss.Gamma < 0.02 {
+		t.Errorf("gamma %.3f did not converge toward γ* ≈ 0.12", ss.Gamma)
+	}
+}
+
+// windowLoss returns the loss rate of the traffic between two cumulative
+// snapshots.
+func windowLoss(from, to ColorCount) float64 {
+	lost := to.Lost - from.Lost
+	recv := to.Received - from.Received
+	if lost+recv == 0 {
+		return 0
+	}
+	return float64(lost) / float64(lost+recv)
+}
+
+// TestLiveSenderStopsOnContext: cancellation interrupts both loops
+// promptly even mid-pacing-wait.
+func TestLiveSenderStopsOnContext(t *testing.T) {
+	emu := NewEmulator(EmulatorConfig{})
+	defer emu.Close()
+	cfg := SenderConfig{
+		Flow:  1,
+		Frame: fgs.FrameSpec{PacketSize: 100, TotalPackets: 80, GreenPackets: 8},
+		MKC: cc.MKCConfig{
+			Alpha: 20 * units.Kbps, Beta: 0.5,
+			// Glacial rate: the pacer wait per packet is ~12 ms, so the
+			// sender is almost certainly inside a wait when canceled.
+			InitialRate: 64 * units.Kbps, MinRate: 64 * units.Kbps,
+		},
+	}
+	s, err := NewSender(emu.A(), nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.Run(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("Run returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("sender did not stop on cancellation")
+	}
+	if s.Stats().Datagrams == 0 {
+		t.Fatal("sender sent nothing before cancellation")
+	}
+}

@@ -1,0 +1,119 @@
+package wire
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// MinPacerRate floors the pacing rate. MKC already floors its own rate,
+// but the pacer must survive arbitrary SetRate inputs (zero, negative, a
+// controller mid-divergence) without dividing by zero or computing an
+// unbounded wait, so rates at or below zero clamp here and the stream
+// degrades to a trickle instead of stalling.
+const MinPacerRate = units.Kbps
+
+// Pacer is a wall-clock token bucket that spaces datagrams at a target
+// bit rate. Time is passed in explicitly (callers use time.Now()), which
+// keeps the arithmetic deterministic under test: burst bounds, mid-stream
+// rate changes, and clock jumps are all pure functions of the supplied
+// instants.
+//
+// The bucket holds at most Burst bytes of credit, so after an idle period
+// the sender can emit at most one burst back to back; sustained
+// throughput is bounded by the configured rate regardless of timer
+// jitter, because credit accrues from real elapsed time (oversleeping a
+// wait is repaid by the credit that accrued during it).
+type Pacer struct {
+	mu     sync.Mutex
+	rate   units.BitRate // clamped, > 0
+	burst  float64       // bucket capacity, bytes
+	tokens float64       // current credit, bytes; may go negative (debt)
+	last   time.Time
+	set    bool // last is meaningful
+}
+
+// NewPacer builds a pacer at the given rate with a bucket of burstBytes.
+// Non-positive burst gets a one-MTU bucket, the minimum that keeps a
+// full-size datagram from waiting forever.
+func NewPacer(rate units.BitRate, burstBytes int) *Pacer {
+	if burstBytes <= 0 {
+		burstBytes = MaxDatagram
+	}
+	p := &Pacer{burst: float64(burstBytes)}
+	p.setRateLocked(rate)
+	p.tokens = p.burst // a fresh pacer may burst immediately
+	return p
+}
+
+// SetRate changes the pacing rate at the given instant. Credit already
+// accrued at the old rate is settled first, so a rate change mid-stream
+// never retroactively re-prices elapsed time. Rates <= 0 clamp to
+// MinPacerRate.
+func (p *Pacer) SetRate(rate units.BitRate, now time.Time) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.settle(now)
+	p.setRateLocked(rate)
+}
+
+func (p *Pacer) setRateLocked(rate units.BitRate) {
+	if rate < MinPacerRate {
+		rate = MinPacerRate
+	}
+	p.rate = rate
+}
+
+// Rate returns the current (clamped) pacing rate.
+func (p *Pacer) Rate() units.BitRate {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rate
+}
+
+// Burst returns the bucket capacity in bytes.
+func (p *Pacer) Burst() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return int(p.burst)
+}
+
+// Reserve commits to sending n bytes at the given instant and returns how
+// long the caller must wait before putting them on the wire (0 = send
+// immediately). The bytes are charged unconditionally, so calls must be
+// followed by a send; the returned wait is exactly the time for the
+// bucket debt to refill at the current rate.
+func (p *Pacer) Reserve(n int, now time.Time) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.settle(now)
+	p.tokens -= float64(n)
+	if p.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-p.tokens * 8 / float64(p.rate) * float64(time.Second))
+}
+
+// settle accrues credit for the time elapsed since the last settlement.
+// A clock that jumps backward contributes nothing (elapsed clamps to 0);
+// a clock that jumps far forward is bounded by the burst cap.
+func (p *Pacer) settle(now time.Time) {
+	if !p.set {
+		p.last = now
+		p.set = true
+		return
+	}
+	elapsed := now.Sub(p.last)
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	p.last = now
+	p.tokens += elapsed.Seconds() * float64(p.rate) / 8
+	if p.tokens > p.burst {
+		p.tokens = p.burst
+	}
+}

@@ -1,0 +1,174 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// t0 is an arbitrary fixed origin; the pacer only looks at differences.
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// TestPacerSpacing: at rate r, sending packets back to back accumulates
+// debt that is repaid at exactly size·8/r per packet.
+func TestPacerSpacing(t *testing.T) {
+	// 1 Mbit/s, 1000-byte packets → 8 ms per packet.
+	p := NewPacer(units.Mbps, 1000)
+	now := t0
+	if wait := p.Reserve(1000, now); wait != 0 {
+		t.Fatalf("fresh pacer should allow an immediate burst, got wait %v", wait)
+	}
+	// Bucket is now empty; the next two packets owe 8 ms and 16 ms.
+	for i, want := range []time.Duration{8 * time.Millisecond, 16 * time.Millisecond} {
+		wait := p.Reserve(1000, now)
+		if diff := wait - want; diff < -time.Microsecond || diff > time.Microsecond {
+			t.Fatalf("packet %d: wait %v, want %v", i, wait, want)
+		}
+	}
+	// After waiting out the debt, the next packet owes one packet time.
+	now = now.Add(16 * time.Millisecond)
+	wait := p.Reserve(1000, now)
+	if diff := wait - 8*time.Millisecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("after drain: wait %v, want 8ms", wait)
+	}
+}
+
+// TestPacerBurstBound: credit accrued during idle is capped at the
+// bucket size, so a long pause buys at most one burst of back-to-back
+// packets.
+func TestPacerBurstBound(t *testing.T) {
+	p := NewPacer(units.Mbps, 3000) // bucket: three 1000-byte packets
+	now := t0
+	p.Reserve(3000, now) // drain the initial bucket
+
+	// A very long idle period…
+	now = now.Add(time.Hour)
+	sent := 0
+	for p.Reserve(1000, now) == 0 {
+		sent++
+		if sent > 10 {
+			break
+		}
+	}
+	// …buys exactly the bucket: 3 free packets, then pacing resumes.
+	if sent != 3 {
+		t.Fatalf("burst of %d packets after idle, want 3", sent)
+	}
+}
+
+// TestPacerRateChangeMidStream: SetRate settles credit at the old rate
+// first, so elapsed time is never re-priced retroactively.
+func TestPacerRateChangeMidStream(t *testing.T) {
+	p := NewPacer(units.Mbps, 1000)
+	now := t0
+	p.Reserve(1000, now) // drain bucket
+
+	// 4 ms at 1 Mbit/s accrues 500 bytes of credit. Then the rate rises
+	// 10×: if SetRate re-priced the elapsed 4 ms at 10 Mbit/s it would
+	// credit 5000 bytes and the next packet would be free.
+	now = now.Add(4 * time.Millisecond)
+	p.SetRate(10*units.Mbps, now)
+	wait := p.Reserve(1000, now)
+	// 500 bytes owed at 10 Mbit/s → 0.4 ms.
+	want := 400 * time.Microsecond
+	if diff := wait - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("wait %v, want %v", wait, want)
+	}
+
+	// Slowing down mid-debt stretches the remaining wait at the new rate.
+	p2 := NewPacer(10*units.Mbps, 1000)
+	p2.Reserve(1000, t0)
+	p2.Reserve(1000, t0) // 1000 bytes of debt
+	p2.SetRate(units.Mbps, t0)
+	if wait := p2.Reserve(0, t0); wait != 0 {
+		t.Fatalf("Reserve(0) must be free, got %v", wait)
+	}
+	wait = p2.Reserve(1000, t0) // total debt 2000 bytes at 1 Mbit/s → 16 ms
+	if diff := wait - 16*time.Millisecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("after slowdown: wait %v, want 16ms", wait)
+	}
+}
+
+// TestPacerZeroAndNegativeRateClamp: hostile rates clamp to MinPacerRate
+// instead of dividing by zero or stalling forever.
+func TestPacerZeroAndNegativeRateClamp(t *testing.T) {
+	for _, r := range []units.BitRate{0, -units.Mbps} {
+		p := NewPacer(r, 100)
+		if got := p.Rate(); got != MinPacerRate {
+			t.Errorf("NewPacer(%v): rate %v, want MinPacerRate", r, got)
+		}
+		p.Reserve(100, t0) // drain
+		wait := p.Reserve(125, t0)
+		// 125 bytes at 1 kbit/s = 1 s: finite, positive, bounded.
+		if wait <= 0 || wait > 2*time.Second {
+			t.Errorf("NewPacer(%v): wait %v not in (0, 2s]", r, wait)
+		}
+		p.SetRate(units.Mbps, t0)
+		p.SetRate(-1, t0)
+		if got := p.Rate(); got != MinPacerRate {
+			t.Errorf("SetRate(-1): rate %v, want MinPacerRate", got)
+		}
+	}
+}
+
+// TestPacerClockJumps: a clock stepping backward contributes no credit
+// (and does not panic or go negative); a clock leaping forward is capped
+// by the burst bound.
+func TestPacerClockJumps(t *testing.T) {
+	p := NewPacer(units.Mbps, 1000)
+	now := t0
+	p.Reserve(1000, now) // drain
+
+	// Backward jump: no credit appears out of thin air.
+	back := now.Add(-time.Hour)
+	wait := p.Reserve(1000, back)
+	if diff := wait - 8*time.Millisecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("after backward jump: wait %v, want 8ms", wait)
+	}
+	// The pacer re-anchors at the jumped-back instant: 8 ms later the
+	// debt is exactly repaid and the next packet owes one packet time
+	// again — no stall, no free credit.
+	wait = p.Reserve(1000, back.Add(8*time.Millisecond))
+	if diff := wait - 8*time.Millisecond; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Fatalf("after resuming from jump: wait %v, want 8ms", wait)
+	}
+
+	// Forward leap: at most one burst of credit, not an hour's worth.
+	far := back.Add(2 * time.Hour)
+	free := 0
+	for p.Reserve(500, far) == 0 {
+		free++
+		if free > 10 {
+			break
+		}
+	}
+	if free != 2 { // 1000-byte bucket = two 500-byte packets
+		t.Fatalf("forward leap bought %d free packets, want 2", free)
+	}
+}
+
+// TestPacerJitterSelfCorrects: oversleeping a wait (within the burst
+// allowance) is repaid by the credit that accrues during it — cumulative
+// throughput tracks the rate, not the timer quality. This is the
+// property that keeps live goodput at the configured rate on a noisy CI
+// machine.
+func TestPacerJitterSelfCorrects(t *testing.T) {
+	p := NewPacer(units.Mbps, 1000)
+	now := t0
+	const n = 200
+	for i := 0; i < n; i++ {
+		wait := p.Reserve(1000, now)
+		// A scheduler that always oversleeps by 2 ms (a quarter of the
+		// 8 ms packet time).
+		now = now.Add(wait + 2*time.Millisecond)
+	}
+	elapsed := now.Sub(t0)
+	got := units.RateFromBytes(int64(n*1000), elapsed)
+	// The steady-state wait shrinks to absorb the overshoot, so the
+	// long-run rate stays within a few percent of the target (the gap is
+	// the first packets' burst warm-up).
+	if got < 0.95*units.Mbps || got > 1.05*units.Mbps {
+		t.Fatalf("throughput %v under 2ms oversleep, want ~1 Mbit/s", got)
+	}
+}

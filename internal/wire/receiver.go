@@ -1,0 +1,263 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// ColorCount accumulates delivery statistics for one PELS color.
+type ColorCount struct {
+	// Received datagrams of this color, and their wire bytes.
+	Received uint64
+	Bytes    uint64
+	// Lost datagrams inferred from sequence gaps (a late reordered
+	// arrival repays one loss).
+	Lost uint64
+}
+
+// LossRate returns Lost / (Received + Lost), or 0 before any traffic.
+func (c ColorCount) LossRate() float64 {
+	total := c.Received + c.Lost
+	if total == 0 {
+		return 0
+	}
+	return float64(c.Lost) / float64(total)
+}
+
+// ReceiverStats is a snapshot of a receiver's counters.
+type ReceiverStats struct {
+	// Datagrams and Bytes count all accepted data datagrams (wire bytes,
+	// header included).
+	Datagrams uint64
+	Bytes     uint64
+	// Frames is the number of distinct video frames observed (max frame
+	// number + 1).
+	Frames uint64
+	// Colors holds cumulative per-color counts.
+	Colors map[packet.Color]ColorCount
+	// Epochs counts distinct feedback epochs observed in-band.
+	Epochs uint64
+	// LastEpoch holds the per-color counts of the most recently
+	// completed feedback epoch, and its number — the "per-epoch loss per
+	// color" view of the stream.
+	LastEpoch       map[packet.Color]ColorCount
+	LastEpochNumber uint64
+	// LastFeedback is the most recent in-band label.
+	LastFeedback packet.Feedback
+	// FeedbackSent counts reverse-path feedback datagrams emitted.
+	FeedbackSent uint64
+	// DecodeErrors counts malformed datagrams dropped on the floor.
+	DecodeErrors uint64
+	// FirstAt/LastAt bracket the arrival interval, for goodput.
+	FirstAt time.Time
+	LastAt  time.Time
+}
+
+// Goodput returns the delivered wire bitrate over the arrival interval.
+func (s ReceiverStats) Goodput() units.BitRate {
+	d := s.LastAt.Sub(s.FirstAt)
+	if d <= 0 {
+		return 0
+	}
+	return units.RateFromBytes(int64(s.Bytes), d)
+}
+
+// ReceiverConfig parameterizes the receiving side.
+type ReceiverConfig struct {
+	// Peer, when set, is where feedback is sent. When nil the receiver
+	// replies to the source address of the first data datagram.
+	Peer net.Addr
+	// Flow, when non-zero, drops data datagrams of other flows.
+	Flow uint32
+}
+
+// colorTrack is the per-color sequence tracker.
+type colorTrack struct {
+	next  uint64 // next expected sequence number
+	count ColorCount
+	epoch ColorCount // counts within the current feedback epoch
+}
+
+// Receiver consumes a live PELS stream: it tracks per-color loss from
+// sequence gaps (cumulatively and per feedback epoch) and echoes every
+// fresh router label back to the sender as a feedback datagram — the
+// reverse path the simulator models with ACKs. Epoch deduplication on
+// the sender makes the echo idempotent.
+type Receiver struct {
+	cfg  ReceiverConfig
+	conn net.PacketConn
+
+	mu        sync.Mutex
+	colors    map[packet.Color]*colorTrack
+	lastEpoch map[packet.Color]ColorCount
+	lastEpNum uint64
+	stats     ReceiverStats
+	lastFB    packet.Feedback
+	fbSeq     uint64
+	maxFrame  uint32
+	anyFrame  bool
+	peer      net.Addr
+}
+
+// NewReceiver builds a receiver on conn. The conn is borrowed, not
+// owned.
+func NewReceiver(conn net.PacketConn, cfg ReceiverConfig) *Receiver {
+	return &Receiver{
+		cfg:    cfg,
+		conn:   conn,
+		colors: map[packet.Color]*colorTrack{},
+		peer:   cfg.Peer,
+	}
+}
+
+// Run reads the stream until ctx is canceled. Malformed datagrams are
+// counted and dropped; socket errors other than deadline expiry are
+// returned.
+func (r *Receiver) Run(ctx context.Context) error {
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, from, err := r.conn.ReadFrom(buf)
+		switch {
+		case err == nil:
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			continue
+		case errors.Is(err, net.ErrClosed):
+			return ctx.Err()
+		default:
+			return fmt.Errorf("wire: receive: %w", err)
+		}
+		r.Handle(buf[:n], from, time.Now())
+	}
+}
+
+// Handle processes one raw datagram (exported so tests can drive the
+// receiver without a socket). Fresh feedback labels trigger an echo to
+// the peer.
+func (r *Receiver) Handle(b []byte, from net.Addr, now time.Time) {
+	h, _, err := DecodeDatagram(b)
+	if err != nil || h.Type != TypeData {
+		r.mu.Lock()
+		if err != nil {
+			r.stats.DecodeErrors++
+		}
+		r.mu.Unlock()
+		return
+	}
+	if r.cfg.Flow != 0 && h.Flow != r.cfg.Flow {
+		return
+	}
+
+	r.mu.Lock()
+	if r.peer == nil {
+		r.peer = from
+	}
+	if r.stats.Datagrams == 0 {
+		r.stats.FirstAt = now
+	}
+	r.stats.LastAt = now
+	r.stats.Datagrams++
+	r.stats.Bytes += uint64(len(b))
+	if !r.anyFrame || h.Frame > r.maxFrame {
+		r.maxFrame = h.Frame
+		r.anyFrame = true
+	}
+
+	t := r.colors[h.Color]
+	if t == nil {
+		t = &colorTrack{}
+		r.colors[h.Color] = t
+	}
+	switch {
+	case h.Seq >= t.next:
+		gap := h.Seq - t.next
+		t.count.Lost += gap
+		t.epoch.Lost += gap
+		t.next = h.Seq + 1
+	case t.count.Lost > 0:
+		// A reordered late arrival repays one presumed loss.
+		t.count.Lost--
+		if t.epoch.Lost > 0 {
+			t.epoch.Lost--
+		}
+	}
+	t.count.Received++
+	t.count.Bytes += uint64(len(b))
+	t.epoch.Received++
+	t.epoch.Bytes += uint64(len(b))
+
+	var echo *Header
+	if h.Feedback.Valid && fresher(h.Feedback, r.lastFB) {
+		if r.lastFB.Valid {
+			// Close the per-epoch window before switching labels.
+			r.lastEpoch = map[packet.Color]ColorCount{}
+			for c, ct := range r.colors {
+				r.lastEpoch[c] = ct.epoch
+				ct.epoch = ColorCount{}
+			}
+			r.lastEpNum = r.lastFB.Epoch
+		}
+		r.lastFB = h.Feedback
+		r.stats.Epochs++
+		r.fbSeq++
+		echo = &Header{
+			Type:      TypeFeedback,
+			Color:     packet.ACK,
+			Flow:      r.cfg.Flow,
+			Seq:       r.fbSeq,
+			Timestamp: now.UnixNano(),
+			Feedback:  h.Feedback,
+		}
+		r.stats.FeedbackSent++
+	}
+	peer := r.peer
+	r.mu.Unlock()
+
+	if echo != nil && peer != nil {
+		if b, err := EncodeDatagram(*echo, nil); err == nil {
+			_, _ = r.conn.WriteTo(b, peer)
+		}
+	}
+}
+
+// fresher reports whether fb is a label the receiver has not yet echoed:
+// a new router, or a newer epoch of the same router (mirrors the
+// freshness rule the controllers apply, paper §5.2).
+func fresher(fb, last packet.Feedback) bool {
+	if !last.Valid {
+		return true
+	}
+	return fb.RouterID != last.RouterID || fb.Epoch > last.Epoch
+}
+
+// Stats returns a snapshot of the receiver's counters.
+func (r *Receiver) Stats() ReceiverStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	st := r.stats
+	st.Colors = map[packet.Color]ColorCount{}
+	for c, t := range r.colors {
+		st.Colors[c] = t.count
+	}
+	st.LastEpoch = map[packet.Color]ColorCount{}
+	for c, ct := range r.lastEpoch {
+		st.LastEpoch[c] = ct
+	}
+	st.LastEpochNumber = r.lastEpNum
+	st.LastFeedback = r.lastFB
+	if r.anyFrame {
+		st.Frames = uint64(r.maxFrame) + 1
+	}
+	return st
+}

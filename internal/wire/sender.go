@@ -1,0 +1,302 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/fgs"
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// SenderConfig parameterizes a live streaming session. The FGS frame
+// spec, γ controller, and MKC configs are the exact types the simulator
+// uses — the live stack swaps only the transport underneath them.
+type SenderConfig struct {
+	// Flow identifies the stream in every datagram.
+	Flow uint32
+	// Frame is the FGS packetization; PacketSize is the on-wire datagram
+	// size and must exceed HeaderSize.
+	Frame fgs.FrameSpec
+	// FrameInterval is the video frame period.
+	FrameInterval time.Duration
+	// MKC parameterizes the rate controller (ignored when Controller is
+	// set). Zero value selects cc.DefaultMKCConfig.
+	MKC cc.MKCConfig
+	// Controller optionally replaces MKC with any cc.Controller.
+	Controller cc.Controller
+	// Gamma parameterizes the red-fraction controller. Zero value
+	// selects fgs.DefaultGammaConfig.
+	Gamma fgs.GammaConfig
+	// RedShare selects the γ denominator; 0 means fgs.RedShareTotal.
+	RedShare fgs.RedShare
+	// Scaler maps rate to per-frame byte budgets; nil means
+	// fgs.ConstantScaler.
+	Scaler fgs.Scaler
+	// BurstBytes is the pacer bucket size; 0 means 8 datagrams.
+	BurstBytes int
+	// MaxFrames stops the sender after that many frames; 0 streams until
+	// the context is canceled.
+	MaxFrames int
+}
+
+// WithDefaults fills zero-valued fields.
+func (c SenderConfig) WithDefaults() SenderConfig {
+	if c.Frame == (fgs.FrameSpec{}) {
+		c.Frame = fgs.DefaultFrameSpec()
+	}
+	if c.FrameInterval <= 0 {
+		c.FrameInterval = 20 * time.Millisecond
+	}
+	if c.MKC == (cc.MKCConfig{}) {
+		c.MKC = cc.DefaultMKCConfig()
+	}
+	if c.Gamma == (fgs.GammaConfig{}) {
+		c.Gamma = fgs.DefaultGammaConfig()
+	}
+	if c.RedShare == 0 {
+		c.RedShare = fgs.RedShareTotal
+	}
+	if c.Scaler == nil {
+		c.Scaler = fgs.ConstantScaler{}
+	}
+	if c.BurstBytes <= 0 {
+		c.BurstBytes = 8 * c.Frame.PacketSize
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c SenderConfig) Validate() error {
+	if err := c.Frame.Validate(); err != nil {
+		return err
+	}
+	if c.Frame.PacketSize <= HeaderSize {
+		return fmt.Errorf("wire: packet size %d must exceed header size %d",
+			c.Frame.PacketSize, HeaderSize)
+	}
+	if c.Frame.PacketSize > MaxDatagram {
+		return fmt.Errorf("wire: packet size %d exceeds max datagram %d",
+			c.Frame.PacketSize, MaxDatagram)
+	}
+	return nil
+}
+
+// SenderStats is a snapshot of a sender's counters.
+type SenderStats struct {
+	Frames           int
+	Datagrams        uint64
+	Bytes            uint64
+	FeedbackAccepted uint64
+	Rate             units.BitRate
+	Gamma            float64
+	LastLoss         float64
+}
+
+// Sender streams FGS frames over a net.PacketConn: at each frame boundary
+// it sizes the byte budget x_i from the controller's rate, partitions it
+// green/yellow/red with the γ controller (paper §4.2), and paces the
+// datagrams with a wall-clock token bucket. Feedback datagrams from the
+// receiver drive both control loops, exactly as ACKs do in the simulator.
+type Sender struct {
+	cfg  SenderConfig
+	conn net.PacketConn
+	peer net.Addr
+
+	mu    sync.Mutex
+	ctrl  cc.Controller
+	gamma *fgs.Gamma
+	pk    *fgs.Packetizer
+	pacer *Pacer
+	seq   map[packet.Color]uint64
+	stats SenderStats
+}
+
+// NewSender builds a session streaming to peer over conn. The conn is
+// borrowed, not owned: Close remains the caller's job.
+func NewSender(conn net.PacketConn, peer net.Addr, cfg SenderConfig) (*Sender, error) {
+	cfg = cfg.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ctrl := cfg.Controller
+	if ctrl == nil {
+		ctrl = cc.NewMKC(cfg.MKC)
+	}
+	gamma, err := fgs.NewGamma(cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := fgs.NewPacketizer(cfg.Frame)
+	if err != nil {
+		return nil, err
+	}
+	return &Sender{
+		cfg:   cfg,
+		conn:  conn,
+		peer:  peer,
+		ctrl:  ctrl,
+		gamma: gamma,
+		pk:    pk,
+		pacer: NewPacer(ctrl.Rate(), cfg.BurstBytes),
+		seq:   map[packet.Color]uint64{},
+	}, nil
+}
+
+// Run is the send loop: it blocks until MaxFrames frames have been sent
+// or ctx is canceled. Feedback must be fed concurrently, either by
+// ServeFeedback on the same conn or by HandleFeedback from an external
+// demultiplexer (cmd/pelsd).
+func (s *Sender) Run(ctx context.Context) error {
+	payload := make([]byte, s.cfg.Frame.PacketSize-HeaderSize)
+	buf := make([]byte, 0, s.cfg.Frame.PacketSize)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+
+	for frame := 0; s.cfg.MaxFrames == 0 || frame < s.cfg.MaxFrames; frame++ {
+		plan := s.planFrame(frame)
+		if plan.Total() == 0 {
+			// Degenerate budget: idle one frame interval instead of
+			// spinning.
+			if err := sleepCtx(ctx, timer, s.cfg.FrameInterval); err != nil {
+				return err
+			}
+			continue
+		}
+		for idx := 0; idx < plan.Total(); idx++ {
+			color := plan.Color(idx)
+			h := Header{
+				Type:      TypeData,
+				Color:     color,
+				Flow:      s.cfg.Flow,
+				Frame:     uint32(frame),
+				Index:     uint16(idx),
+				Seq:       s.nextSeq(color),
+				Timestamp: time.Now().UnixNano(),
+			}
+			var err error
+			buf, err = AppendDatagram(buf[:0], h, payload)
+			if err != nil {
+				return err
+			}
+			if wait := s.pacer.Reserve(len(buf), time.Now()); wait > 0 {
+				if err := sleepCtx(ctx, timer, wait); err != nil {
+					return err
+				}
+			}
+			if _, err := s.conn.WriteTo(buf, s.peer); err != nil {
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
+				return fmt.Errorf("wire: send: %w", err)
+			}
+			s.mu.Lock()
+			s.stats.Datagrams++
+			s.stats.Bytes += uint64(len(buf))
+			s.mu.Unlock()
+		}
+		s.mu.Lock()
+		s.stats.Frames = frame + 1
+		s.mu.Unlock()
+	}
+	return nil
+}
+
+// planFrame sizes frame like the simulator source: x_i = scaler budget at
+// the controller's current rate, partitioned by the current γ.
+func (s *Sender) planFrame(frame int) fgs.PacketPlan {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	budget := s.cfg.Scaler.Budget(frame, s.ctrl.Rate(), s.cfg.FrameInterval)
+	return s.pk.PlanShare(frame, budget, s.gamma.Value(), s.cfg.RedShare)
+}
+
+func (s *Sender) nextSeq(c packet.Color) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.seq[c]
+	s.seq[c] = n + 1
+	return n
+}
+
+// HandleFeedback offers a feedback label to the controllers. It returns
+// true when the label was fresh (new epoch) and the rate was updated; the
+// pacer is retargeted and γ stepped in the same critical section, so the
+// send loop always observes a consistent (rate, γ) pair.
+func (s *Sender) HandleFeedback(fb packet.Feedback) bool {
+	if !fb.Valid {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.ctrl.OnFeedback(fb) {
+		return false
+	}
+	s.gamma.Update(fb.Loss)
+	s.stats.FeedbackAccepted++
+	s.pacer.SetRate(s.ctrl.Rate(), time.Now())
+	return true
+}
+
+// ServeFeedback reads feedback datagrams from the sender's conn until ctx
+// is canceled, feeding HandleFeedback. Use it when the sender owns the
+// socket's read side (the loopback tests and examples); cmd/pelsd demuxes
+// the socket itself and calls HandleFeedback directly.
+func (s *Sender) ServeFeedback(ctx context.Context) error {
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _, err := s.conn.ReadFrom(buf)
+		switch {
+		case err == nil:
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			continue
+		case errors.Is(err, net.ErrClosed):
+			return ctx.Err()
+		default:
+			return fmt.Errorf("wire: feedback read: %w", err)
+		}
+		h, _, err := DecodeDatagram(buf[:n])
+		if err != nil || h.Type != TypeFeedback {
+			continue // noise on the reverse path is dropped, not fatal
+		}
+		s.HandleFeedback(h.Feedback)
+	}
+}
+
+// Stats returns a snapshot of the sender's counters and control state.
+func (s *Sender) Stats() SenderStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Rate = s.ctrl.Rate()
+	st.Gamma = s.gamma.Value()
+	st.LastLoss = s.ctrl.LastLoss()
+	return st
+}
+
+// sleepCtx sleeps d or returns early with ctx's error.
+func sleepCtx(ctx context.Context, timer *time.Timer, d time.Duration) error {
+	if !timer.Stop() {
+		select {
+		case <-timer.C:
+		default:
+		}
+	}
+	timer.Reset(d)
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
