@@ -1,14 +1,20 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test test-short race fmt-check ci bench repro cover fuzz smoke clean
+.PHONY: all build vet lint test test-short race fmt-check ci bench repro cover fuzz smoke clean
 
-all: build vet test
+all: build vet lint test
 
 build:
 	go build ./...
 
 vet:
 	go vet ./...
+
+# PELS-specific static analyzers (determinism, seeded randomness, float
+# equality, unit hygiene). Any diagnostic fails the build; intentional
+# exceptions carry //pelsvet:allow comments in the source.
+lint:
+	go run ./cmd/pelsvet ./...
 
 test:
 	go test ./...
@@ -25,7 +31,7 @@ fmt-check:
 		echo "gofmt needs to be run on:"; echo "$$out"; exit 1; fi
 
 # The exact CI gate, runnable locally before pushing.
-ci: build vet fmt-check race
+ci: build vet fmt-check lint race
 
 # Regenerate every table and figure of the paper (plus extensions).
 repro:

@@ -24,7 +24,7 @@ func ExpectedUseful(p float64, q []float64) float64 {
 			mean += float64(i+1) * w
 			total += w
 		}
-		if total == 0 {
+		if total <= 0 {
 			return 0
 		}
 		return mean / total
@@ -38,7 +38,7 @@ func ExpectedUseful(p float64, q []float64) float64 {
 		sum += (1 - math.Pow(1-p, k)) * w
 		total += w
 	}
-	if total == 0 {
+	if total <= 0 {
 		return 0
 	}
 	return (1 - p) / p * sum / total

@@ -49,7 +49,9 @@ func GammaStable(sigma float64) bool { return sigma > 0 && sigma < 2 }
 // GammaFixedPoint returns γ* = p/p_thr, the stationary point of eq. (4)
 // (paper §4.3).
 func GammaFixedPoint(p, pthr float64) float64 {
-	if pthr == 0 {
+	if pthr <= 0 {
+		// A probability threshold at or below zero has no finite fixed
+		// point; treat it as instantly saturating.
 		return math.Inf(1)
 	}
 	return p / pthr
@@ -140,6 +142,10 @@ func MKCTrajectory(n int, r0, alpha, beta, capacity float64, d, steps int) [][]f
 
 // MKCStationaryRate returns r* = C/N + α/β (paper eq. 10).
 func MKCStationaryRate(capacity, alpha, beta float64, n int) float64 {
+	// Exact divide-by-zero guard: a negative β is a legal (unstable)
+	// configuration the stability study sweeps through, so only β == 0
+	// lacks a stationary point.
+	//pelsvet:allow floateq
 	if n <= 0 || beta == 0 {
 		return 0
 	}
@@ -154,6 +160,10 @@ func MKCStationaryLoss(capacity, alpha, beta float64, n int) float64 {
 	}
 	na := float64(n) * alpha
 	den := beta*capacity + na
+	// Exact divide-by-zero guard: βC + Nα can legitimately sit at exactly
+	// zero for the degenerate sweep configurations (β < 0), and any other
+	// value is a valid denominator.
+	//pelsvet:allow floateq
 	if den == 0 {
 		return 0
 	}

@@ -70,7 +70,7 @@ func NewFeedback(eng *sim.Engine, cfg FeedbackConfig) *Feedback {
 	if cfg.Capacity <= 0 {
 		panic("aqm: feedback capacity must be positive")
 	}
-	if cfg.MinLoss == 0 {
+	if cfg.MinLoss <= 0 {
 		cfg.MinLoss = DefaultMinLoss
 	}
 	f := &Feedback{cfg: cfg, eng: eng, loss: cfg.MinLoss}

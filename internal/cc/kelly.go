@@ -60,6 +60,9 @@ var _ Controller = (*Kelly)(nil)
 
 // NewKelly validates cfg and returns a controller.
 func NewKelly(cfg KellyConfig) *Kelly {
+	// Exact zero-value check: it detects an unset config, while a negative
+	// β stays legal for instability demonstrations.
+	//pelsvet:allow floateq
 	if cfg.Beta == 0 {
 		panic("cc: Kelly beta must be non-zero")
 	}
@@ -97,6 +100,9 @@ func (k *Kelly) LastLoss() float64 { return k.loss }
 // are the per-second gains (identical to MKC's eq. 10 because α/β is
 // step-invariant).
 func (cfg KellyConfig) StationaryRate(c units.BitRate, n int) units.BitRate {
+	// Exact divide-by-zero guard: any nonzero β (including negative, for
+	// instability sweeps) is a valid denominator.
+	//pelsvet:allow floateq
 	if n <= 0 || cfg.Beta == 0 {
 		return 0
 	}

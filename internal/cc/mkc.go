@@ -68,6 +68,9 @@ func NewMKC(cfg MKCConfig) *MKC {
 		// Outside (0,2) the controller is provably unstable (Lemma 5);
 		// allow it anyway for instability demonstrations, but flag the
 		// obviously-broken zero value.
+		// Exact zero-value check distinguishing "unset" from a
+		// deliberately out-of-range β.
+		//pelsvet:allow floateq
 		if cfg.Beta == 0 {
 			panic("cc: MKC beta must be non-zero")
 		}

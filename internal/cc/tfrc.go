@@ -105,7 +105,7 @@ func (cfg TFRCConfig) EquationRate(p float64) units.BitRate {
 	}
 	rtt := cfg.RTT.Seconds()
 	rto := cfg.RTO.Seconds()
-	if rto == 0 {
+	if rto <= 0 {
 		rto = 4 * rtt
 	}
 	den := rtt*math.Sqrt(2*p/3) + rto*3*math.Sqrt(3*p/8)*p*(1+32*p*p)

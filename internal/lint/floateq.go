@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// controlLoopPkgs names the packages (by final import-path segment) whose
+// arithmetic implements the paper's control loops and closed forms. These
+// accumulate floating-point state across thousands of simulated epochs, so
+// exact equality there is almost always a latent bug.
+var controlLoopPkgs = map[string]bool{
+	"cc":       true,
+	"aqm":      true,
+	"analysis": true,
+}
+
+// FloatEq flags == and != between floating-point operands in the
+// control-loop packages. Accumulated rates, loss estimates, and γ
+// trajectories are never exactly equal to an analytic target; comparisons
+// should use an ordering (<=, >=) or an explicit tolerance. Deliberate
+// exact-sentinel checks (e.g. division-by-zero guards) take a
+// //pelsvet:allow floateq comment with a justification.
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc: "flag ==/!= between floating-point operands in the control-loop " +
+		"packages (cc, aqm, internal/analysis); use tolerances or ordered " +
+		"comparisons, or justify with //pelsvet:allow floateq",
+	Run: runFloatEq,
+}
+
+func runFloatEq(pass *Pass) {
+	if !controlLoopPkgs[pathTail(pass.Pkg.Path())] {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if isFloat(pass.Info.TypeOf(bin.X)) || isFloat(pass.Info.TypeOf(bin.Y)) {
+				pass.Reportf(bin.OpPos,
+					"%s compares floating-point values exactly; use a tolerance or ordered comparison",
+					bin.Op)
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestSelect(t *testing.T) {
+	all, err := Select(nil)
+	if err != nil {
+		t.Fatalf("Select(nil): %v", err)
+	}
+	if len(all) != len(Analyzers()) {
+		t.Fatalf("Select(nil) returned %d analyzers, want %d", len(all), len(Analyzers()))
+	}
+
+	sel, err := Select([]string{"floateq", "walltime"})
+	if err != nil {
+		t.Fatalf("Select: %v", err)
+	}
+	if len(sel) != 2 || sel[0].Name != "floateq" || sel[1].Name != "walltime" {
+		t.Fatalf("Select returned wrong analyzers: %v", sel)
+	}
+}
+
+// TestSelectUnknownAnalyzer proves an unknown name is an error, never a
+// silent no-op.
+func TestSelectUnknownAnalyzer(t *testing.T) {
+	_, err := Select([]string{"walltime", "bogus"})
+	if err == nil {
+		t.Fatal("Select with unknown analyzer: want error, got nil")
+	}
+	if !strings.Contains(err.Error(), `unknown analyzer "bogus"`) {
+		t.Fatalf("error %q does not name the unknown analyzer", err)
+	}
+	if !strings.Contains(err.Error(), "walltime") {
+		t.Fatalf("error %q does not list the known analyzers", err)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "walltime",
+			Pos:      token.Position{Filename: "a.go", Line: 3, Column: 7},
+			Message:  "time.Now reads the wall clock",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 1 {
+		t.Fatalf("want 1 record, got %d", len(decoded))
+	}
+	for _, key := range []string{"analyzer", "file", "line", "col", "message"} {
+		if _, ok := decoded[0][key]; !ok {
+			t.Errorf("record missing %q key: %v", key, decoded[0])
+		}
+	}
+
+	// Empty input must encode as [] (rangeable), not null.
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatalf("WriteJSON(nil): %v", err)
+	}
+	if got := strings.TrimSpace(buf.String()); got != "[]" {
+		t.Fatalf("WriteJSON(nil) = %q, want []", got)
+	}
+}
+
+func TestSortDiagnostics(t *testing.T) {
+	diags := []Diagnostic{
+		{Analyzer: "b", Pos: token.Position{Filename: "b.go", Line: 1}},
+		{Analyzer: "a", Pos: token.Position{Filename: "a.go", Line: 9}},
+		{Analyzer: "b", Pos: token.Position{Filename: "a.go", Line: 2, Column: 4}},
+		{Analyzer: "a", Pos: token.Position{Filename: "a.go", Line: 2, Column: 4}},
+	}
+	SortDiagnostics(diags)
+	got := make([]string, len(diags))
+	for i, d := range diags {
+		got[i] = d.Pos.Filename + ":" + d.Analyzer
+	}
+	want := []string{"a.go:a", "a.go:b", "a.go:a", "b.go:b"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order %v, want %v", got, want)
+		}
+	}
+}
+
+// TestRunnerOnRealPackage is an end-to-end check of the go list loader and
+// concurrent analysis on a real module package that must stay clean.
+func TestRunnerOnRealPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	r := &Runner{}
+	diags, err := r.Run("../..", "./internal/units", "./internal/sim")
+	if err != nil {
+		t.Fatalf("Runner.Run: %v", err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected clean packages, got %v", diags)
+	}
+}

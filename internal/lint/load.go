@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sync"
+)
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+}
+
+// goList runs `go list -deps -export -json` for the given patterns in dir
+// and decodes the stream of package objects. -export makes the go tool
+// write export data for every package in the dependency graph into the
+// build cache, which is what lets the type checker resolve imports without
+// re-typechecking the world from source.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decode: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to *types.Package by reading gc
+// export data recorded by `go list -export`. Paths it has not seen yet are
+// resolved with a lazy `go list` call, so the golden-file test harness can
+// pull in stdlib packages on demand. All methods are safe for concurrent
+// use; the underlying go/importer gc importer is not, so every import is
+// serialized behind a mutex (import resolution is a fast binary read — the
+// expensive per-package typechecking still runs in parallel).
+type exportImporter struct {
+	dir string
+
+	mu      sync.Mutex
+	exports map[string]string
+	gc      types.Importer
+}
+
+// newExportImporter returns an importer rooted at dir (any directory the
+// go tool can run in). fset must be the FileSet shared with the caller's
+// type checker so positions stay consistent.
+func newExportImporter(fset *token.FileSet, dir string) *exportImporter {
+	e := &exportImporter{dir: dir, exports: make(map[string]string)}
+	e.gc = importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		// Called with e.mu held (all imports funnel through Import).
+		file, err := e.exportFileLocked(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(file)
+	})
+	return e
+}
+
+// seed records already-known export data locations (from a prior goList).
+func (e *exportImporter) seed(pkgs []listedPackage) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.exports[p.ImportPath] = p.Export
+		}
+	}
+}
+
+// exportFileLocked returns the export data file for path, shelling out to
+// `go list` if it is not cached. e.mu must be held.
+func (e *exportImporter) exportFileLocked(path string) (string, error) {
+	if f, ok := e.exports[path]; ok {
+		return f, nil
+	}
+	pkgs, err := goList(e.dir, []string{path})
+	if err != nil {
+		return "", err
+	}
+	for _, p := range pkgs {
+		if p.Export != "" {
+			e.exports[p.ImportPath] = p.Export
+		}
+	}
+	f, ok := e.exports[path]
+	if !ok {
+		return "", fmt.Errorf("lint: no export data for %q", path)
+	}
+	return f, nil
+}
+
+// Import implements types.Importer.
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.gc.Import(path)
+}
+
+// Runner loads, type-checks, and analyzes packages concurrently.
+type Runner struct {
+	// Analyzers to run; nil means all registered analyzers.
+	Analyzers []*Analyzer
+	// Concurrency bounds the number of packages analyzed in parallel.
+	// Zero means GOMAXPROCS.
+	Concurrency int
+}
+
+// Run analyzes the packages matched by patterns (e.g. "./...") relative to
+// dir and returns every surviving diagnostic, sorted deterministically.
+// Test files are not analyzed: tests legitimately use wall clocks and ad
+// hoc randomness, and the determinism contract applies to the simulator
+// itself.
+func (r *Runner) Run(dir string, patterns ...string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := r.Analyzers
+	if analyzers == nil {
+		analyzers = Analyzers()
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, dir)
+	imp.seed(listed)
+
+	var targets []listedPackage
+	for _, p := range listed {
+		if !p.DepOnly && len(p.GoFiles) > 0 {
+			targets = append(targets, p)
+		}
+	}
+
+	workers := r.Concurrency
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(targets) {
+		workers = len(targets)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	var (
+		mu       sync.Mutex
+		diags    []Diagnostic
+		firstErr error
+		wg       sync.WaitGroup
+	)
+	jobs := make(chan listedPackage)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for p := range jobs {
+				ds, err := checkPackage(fset, imp, p, analyzers)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				diags = append(diags, ds...)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, p := range targets {
+		jobs <- p
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// checkPackage parses and type-checks one package from source, then runs
+// the analyzers over it.
+func checkPackage(fset *token.FileSet, imp types.Importer, p listedPackage, analyzers []*Analyzer) ([]Diagnostic, error) {
+	files := make([]*ast.File, 0, len(p.GoFiles))
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %v", p.ImportPath, err)
+	}
+	return analyze(fset, files, pkg, info, analyzers), nil
+}

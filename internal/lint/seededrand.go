@@ -1,0 +1,68 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// randPkgs are the import paths whose package-level functions draw from a
+// process-global source.
+var randPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+}
+
+// seededRandAllowed lists math/rand identifiers that do NOT consume the
+// global source: constructors for injectable generators. Everything else at
+// package level (Int, Intn, Float64, Perm, Shuffle, Seed, ...) is banned.
+var seededRandAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true, // takes an explicit *rand.Rand
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// SeededRand forbids package-level math/rand functions everywhere in the
+// tree. The global source is shared process state: two experiments running
+// on the parallel runner would interleave draws nondeterministically, and
+// no seed recorded in a result file could ever reproduce the run. Every
+// random draw must flow through an injected *rand.Rand (usually
+// sim.Engine.Rand()).
+var SeededRand = &Analyzer{
+	Name: "seededrand",
+	Doc: "forbid package-level math/rand functions (global source); require " +
+		"an injected *rand.Rand so the recorded seed fully determines the run",
+	Run: runSeededRand,
+}
+
+func runSeededRand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			// Only flag package-qualified uses (rand.Intn), not method
+			// calls on an injected *rand.Rand (rng.Intn).
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if _, ok := pass.Info.Uses[id].(*types.PkgName); !ok {
+				return true
+			}
+			obj := pass.Info.Uses[sel.Sel]
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil || !randPkgs[fn.Pkg().Path()] {
+				return true
+			}
+			if !seededRandAllowed[fn.Name()] {
+				pass.Reportf(sel.Pos(),
+					"rand.%s draws from the process-global source; inject a seeded *rand.Rand instead",
+					fn.Name())
+			}
+			return true
+		})
+	}
+}

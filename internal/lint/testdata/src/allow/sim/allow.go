@@ -1,0 +1,20 @@
+// Package sim is golden-test input for //pelsvet:allow handling: a valid
+// directive suppresses the diagnostic on its own line or the line below,
+// and a directive for one analyzer does not blanket the others.
+package sim
+
+import "time"
+
+// Suppressed shows both placement forms; neither call may be flagged.
+func Suppressed() time.Time {
+	//pelsvet:allow walltime golden test: justified exception on the line above
+	t := time.Now()
+	time.Sleep(0) //pelsvet:allow walltime golden test: justified exception on the same line
+	return t
+}
+
+// Unsuppressed shows that excusing one analyzer leaves the rest armed.
+func Unsuppressed() time.Time {
+	//pelsvet:allow seededrand wrong analyzer, does not cover walltime
+	return time.Now() // want "time.Now reads the wall clock"
+}

@@ -1,0 +1,20 @@
+// Package sim is golden-test input for malformed //pelsvet:allow
+// directives: a typo'd analyzer name must not suppress anything and must
+// itself be reported, as must a directive naming no analyzer at all.
+// (The expectations live in lint_test.go rather than want comments,
+// because these diagnostics anchor on the directive comments themselves.)
+package sim
+
+import "time"
+
+// Typoed is not suppressed: "bogus" is not an analyzer.
+func Typoed() time.Time {
+	//pelsvet:allow bogus typo'd analyzer name
+	return time.Now()
+}
+
+// Bare carries a directive naming no analyzer.
+func Bare() time.Time {
+	//pelsvet:allow
+	return time.Now()
+}

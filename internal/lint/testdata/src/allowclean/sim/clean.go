@@ -1,0 +1,12 @@
+// Package sim is golden-test input: a deterministic-core package whose
+// only violation is suppressed with a valid directive, so the walltime
+// analyzer must report nothing at all.
+package sim
+
+import "time"
+
+// Stamp is fully excused.
+func Stamp() time.Time {
+	//pelsvet:allow walltime golden test: the whole file is excused
+	return time.Now()
+}

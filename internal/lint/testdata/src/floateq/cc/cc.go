@@ -1,0 +1,21 @@
+// Package cc is golden-test input: it carries a control-loop package name,
+// so exact floating-point equality must be flagged.
+package cc
+
+// Rate is a named float type; the check sees through it.
+type Rate float64
+
+// Compare exercises flagged and legal comparisons.
+func Compare(a, b float64, r Rate, n int, s string) bool {
+	if a == b { // want "== compares floating-point values exactly"
+		return true
+	}
+	if a != 0.5 { // want "!= compares floating-point values exactly"
+		return false
+	}
+	if r == 3 { // want "== compares floating-point values exactly"
+		return true
+	}
+	// Ordered comparisons, integer and string equality stay legal.
+	return a <= b || n == 3 || s == "x"
+}

@@ -1,0 +1,7 @@
+// Package util is golden-test input: it is not a control-loop package, so
+// float equality is left to the programmer's judgment and nothing here may
+// be flagged.
+package util
+
+// Same is exact by design (e.g. deduplicating identical samples).
+func Same(a, b float64) bool { return a == b }

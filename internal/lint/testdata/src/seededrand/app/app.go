@@ -1,0 +1,27 @@
+// Package app is golden-test input for the seededrand analyzer: any draw
+// from the process-global math/rand source must be flagged, anywhere in
+// the tree; injected *rand.Rand generators stay legal.
+package app
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+)
+
+// Draws exercises banned package-level functions.
+func Draws() {
+	_ = rand.Int()                     // want "rand.Int draws from the process-global source"
+	_ = rand.Intn(10)                  // want "rand.Intn draws from the process-global source"
+	_ = rand.Float64()                 // want "rand.Float64 draws from the process-global source"
+	_ = rand.Perm(4)                   // want "rand.Perm draws from the process-global source"
+	rand.Shuffle(2, func(i, j int) {}) // want "rand.Shuffle draws from the process-global source"
+	_ = randv2.IntN(10)                // want "rand.IntN draws from the process-global source"
+}
+
+// Injected shows the sanctioned pattern: constructors are allowed, and
+// method calls on the injected generator are not package-level functions.
+func Injected(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	z := rand.NewZipf(rng, 1.1, 1, 100)
+	return rng.Float64() + float64(z.Uint64()) + float64(rng.Intn(7))
+}

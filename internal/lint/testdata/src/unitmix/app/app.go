@@ -1,0 +1,66 @@
+// Package app is golden-test input for the unitmix analyzer: conversions
+// between distinct unit types, same-unit multiplication, and raw untyped
+// constants in unit positions must all be flagged.
+package app
+
+import (
+	"time"
+
+	"unitmix/units"
+)
+
+// Config carries unit-typed fields.
+type Config struct {
+	Interval time.Duration
+	Rate     units.BitRate
+}
+
+func setRate(r units.BitRate)    { _ = r }
+func setAll(rs ...units.BitRate) { _ = rs }
+func after(d time.Duration) bool { return d > 0 }
+
+// Conversions exercises unit-to-unit conversions.
+func Conversions(d time.Duration, r units.BitRate, n int) {
+	_ = units.BitRate(d) // want "converts time.Duration directly to units.BitRate"
+	_ = time.Duration(r) // want "converts units.BitRate directly to time.Duration"
+	// Explicit scalar round-trips are the sanctioned form.
+	_ = units.BitRate(float64(d))
+	_ = units.BitRate(n)
+	_ = time.Duration(n)
+}
+
+// Multiplication exercises same-unit products.
+func Multiplication(d, tick time.Duration, r units.BitRate, n int) {
+	_ = d * tick // want "multiplies two time.Duration values"
+	_ = r * r    // want "multiplies two units.BitRate values"
+	// Constants and explicit scalar conversions keep the idiom legal.
+	_ = 2 * d
+	_ = d * time.Millisecond
+	_ = time.Duration(n) * tick
+	_ = r * units.Kbps
+}
+
+// Arguments exercises untyped constants in unit positions.
+func Arguments() {
+	setRate(64000) // want "untyped constant 64000 passed as units.BitRate"
+	setAll(5, 6)   // want "untyped constant 5 passed as units.BitRate" "untyped constant 6 passed as units.BitRate"
+	_ = after(250) // want "untyped constant 250 passed as time.Duration"
+	// Zero and typed unit constants stay legal.
+	setRate(0)
+	setRate(3 * units.Mbps)
+	_ = after(10 * time.Millisecond)
+}
+
+// Fields exercises untyped constants in unit-typed struct fields.
+func Fields() Config {
+	bad := Config{
+		Interval: 10,  // want "untyped constant 10 assigned to time.Duration field Interval"
+		Rate:     500, // want "untyped constant 500 assigned to units.BitRate field Rate"
+	}
+	good := Config{
+		Interval: 10 * time.Millisecond,
+		Rate:     500 * units.Kbps,
+	}
+	_ = bad
+	return good
+}

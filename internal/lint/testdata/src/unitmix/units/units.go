@@ -1,0 +1,14 @@
+// Package units is a miniature stand-in for repro/internal/units: the
+// unitmix analyzer recognizes named numeric types from any package whose
+// import path ends in "units".
+package units
+
+// BitRate is a data rate in bits per second.
+type BitRate float64
+
+// Typed unit constants.
+const (
+	BitPerSecond BitRate = 1
+	Kbps                 = 1000 * BitPerSecond
+	Mbps                 = 1000 * Kbps
+)

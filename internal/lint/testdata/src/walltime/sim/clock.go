@@ -1,0 +1,23 @@
+// Package sim is golden-test input: its name places it inside the
+// deterministic core, so every wall-clock access below must be flagged.
+package sim
+
+import "time"
+
+// Tick exercises the banned time functions.
+func Tick() time.Duration {
+	start := time.Now()          // want "time.Now reads the wall clock"
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+	elapsed := time.Since(start) // want "time.Since reads the wall clock"
+	timer := time.NewTimer(0)    // want "time.NewTimer reads the wall clock"
+	<-timer.C
+	<-time.After(time.Microsecond) // want "time.After reads the wall clock"
+	return elapsed
+}
+
+// Virtual shows what stays legal: pure duration arithmetic and parsing,
+// which is exactly how the virtual clock is built.
+func Virtual(d time.Duration) time.Duration {
+	step, _ := time.ParseDuration("30ms")
+	return d + 2*step + time.Millisecond
+}

@@ -1,0 +1,11 @@
+// Package wire is golden-test input: it is outside the deterministic set,
+// so wall-clock access is legal and nothing here may be flagged.
+package wire
+
+import "time"
+
+// Stamp timestamps a real packet; fine at the wire boundary.
+func Stamp() time.Time {
+	time.Sleep(time.Microsecond)
+	return time.Now()
+}

@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// UnitMix is the type-driven unit-hygiene analyzer. A "unit type" is any
+// named numeric type declared in the units package (units.BitRate and
+// whatever the package grows next) plus time.Duration, which doubles as the
+// simulator's virtual-clock tick. Three classes of mix-ups are flagged:
+//
+//  1. Direct conversion between two distinct unit types
+//     (units.BitRate(someDuration)): the bits-per-second value of a
+//     nanosecond count is meaningless. Convert through an explicit
+//     dimensionless scalar (float64/int) so the unit change is visible
+//     and deliberate.
+//  2. Multiplying two non-constant values of the same unit type
+//     (elapsed * timeout): rate×rate and duration×duration have no unit
+//     meaning; one side should be a dimensionless scalar. The idiomatic
+//     forms n * time.Second (typed constant) and time.Duration(n) * tick
+//     (explicit scalar conversion) stay legal.
+//  3. Untyped numeric constants passed where a unit type is expected
+//     (SetRate(64000), Config{Interval: 10}): is that bits or kilobits,
+//     nanoseconds or milliseconds? Use a typed unit constant such as
+//     3*units.Mbps or 10*time.Millisecond. The literals 0 stays legal —
+//     zero is zero in every unit.
+var UnitMix = &Analyzer{
+	Name: "unitmix",
+	Doc: "flag arithmetic mixing distinct named unit types (units.BitRate, " +
+		"time.Duration ticks), same-unit multiplication, and untyped " +
+		"constants passed into unit-typed parameters or fields",
+	Run: runUnitMix,
+}
+
+// unitType returns the named unit type of t, or nil if t is not a unit
+// type. Aliases are resolved first.
+func unitType(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return nil
+	}
+	path := obj.Pkg().Path()
+	if path == "time" && obj.Name() == "Duration" {
+		return named
+	}
+	if pathTail(path) == "units" {
+		if b, ok := named.Underlying().(*types.Basic); ok && b.Info()&types.IsNumeric != 0 {
+			return named
+		}
+	}
+	return nil
+}
+
+func runUnitMix(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				if pass.Info.Types[n.Fun].IsType() {
+					checkUnitConversion(pass, n)
+				} else {
+					checkUnitArgs(pass, n)
+				}
+			case *ast.BinaryExpr:
+				checkUnitMul(pass, n)
+			case *ast.CompositeLit:
+				checkUnitFields(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkUnitConversion flags U(x) where U and x's type are two distinct
+// unit types.
+func checkUnitConversion(pass *Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	dst := unitType(pass.Info.TypeOf(call.Fun))
+	src := unitType(pass.Info.TypeOf(call.Args[0]))
+	if dst == nil || src == nil || types.Identical(dst, src) {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"converts %s directly to %s; go through an explicit dimensionless scalar (float64/int) so the unit change is deliberate",
+		typeName(src), typeName(dst))
+}
+
+// checkUnitMul flags a*b where both operands are the same non-constant
+// unit type and neither is an explicit scalar conversion.
+func checkUnitMul(pass *Pass, bin *ast.BinaryExpr) {
+	if bin.Op != token.MUL {
+		return
+	}
+	ux := unitType(pass.Info.TypeOf(bin.X))
+	uy := unitType(pass.Info.TypeOf(bin.Y))
+	if ux == nil || uy == nil || !types.Identical(ux, uy) {
+		return
+	}
+	if isConstExpr(pass, bin.X) || isConstExpr(pass, bin.Y) {
+		return // n * time.Second and 2 * units.Mbps are the idiom
+	}
+	if isScalarConversion(pass, bin.X) || isScalarConversion(pass, bin.Y) {
+		return // time.Duration(n) * tick: scalar made explicit
+	}
+	pass.Reportf(bin.OpPos,
+		"multiplies two %s values; %s × %s has no unit meaning — make one side a dimensionless scalar",
+		typeName(ux), typeName(ux), typeName(uy))
+}
+
+// checkUnitArgs flags untyped numeric literals passed as unit-typed
+// parameters.
+func checkUnitArgs(pass *Pass, call *ast.CallExpr) {
+	sig, ok := types.Unalias(pass.Info.TypeOf(call.Fun)).(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			slice, ok := params.At(params.Len() - 1).Type().(*types.Slice)
+			if !ok {
+				continue // f(xs...) spread form
+			}
+			pt = slice.Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		u := unitType(pt)
+		if u == nil {
+			continue
+		}
+		if lit := bareNumericLit(arg); lit != nil {
+			pass.Reportf(arg.Pos(),
+				"untyped constant %s passed as %s; use a typed unit constant (e.g. 3*units.Mbps, 10*time.Millisecond)",
+				lit.Value, typeName(u))
+		}
+	}
+}
+
+// checkUnitFields flags untyped numeric literals assigned to unit-typed
+// struct fields in composite literals.
+func checkUnitFields(pass *Pass, lit *ast.CompositeLit) {
+	st, ok := types.Unalias(pass.Info.TypeOf(lit)).Underlying().(*types.Struct)
+	if !ok {
+		return
+	}
+	fieldByName := make(map[string]*types.Var, st.NumFields())
+	for i := 0; i < st.NumFields(); i++ {
+		fieldByName[st.Field(i).Name()] = st.Field(i)
+	}
+	for i, elt := range lit.Elts {
+		var field *types.Var
+		value := elt
+		if kv, ok := elt.(*ast.KeyValueExpr); ok {
+			key, ok := kv.Key.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			field = fieldByName[key.Name]
+			value = kv.Value
+		} else if i < st.NumFields() {
+			field = st.Field(i)
+		}
+		if field == nil {
+			continue
+		}
+		u := unitType(field.Type())
+		if u == nil {
+			continue
+		}
+		if l := bareNumericLit(value); l != nil {
+			pass.Reportf(value.Pos(),
+				"untyped constant %s assigned to %s field %s; use a typed unit constant",
+				l.Value, typeName(u), field.Name())
+		}
+	}
+}
+
+// bareNumericLit returns expr as a numeric literal if it is a plain untyped
+// INT or FLOAT literal other than 0, else nil.
+func bareNumericLit(expr ast.Expr) *ast.BasicLit {
+	lit, ok := expr.(*ast.BasicLit)
+	if !ok || (lit.Kind != token.INT && lit.Kind != token.FLOAT) {
+		return nil
+	}
+	if lit.Value == "0" || lit.Value == "0.0" {
+		return nil
+	}
+	return lit
+}
+
+// isConstExpr reports whether the type checker evaluated expr to a
+// constant.
+func isConstExpr(pass *Pass, expr ast.Expr) bool {
+	return pass.Info.Types[expr].Value != nil
+}
+
+// isScalarConversion reports whether expr is a conversion of a plain
+// (non-unit) numeric value into a unit type, i.e. an explicit statement
+// that the operand is a dimensionless scalar.
+func isScalarConversion(pass *Pass, expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 || !pass.Info.Types[call.Fun].IsType() {
+		return false
+	}
+	if unitType(pass.Info.TypeOf(call.Fun)) == nil {
+		return false
+	}
+	src := pass.Info.TypeOf(call.Args[0])
+	if src == nil || unitType(src) != nil {
+		return false
+	}
+	b, ok := src.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}
+
+// typeName renders a named type as pkg.Name.
+func typeName(n *types.Named) string {
+	obj := n.Obj()
+	if obj.Pkg() == nil {
+		return obj.Name()
+	}
+	return obj.Pkg().Name() + "." + obj.Name()
+}

@@ -6,6 +6,7 @@ package units
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -20,6 +21,12 @@ const (
 	Kbps                 = 1000 * BitPerSecond
 	Mbps                 = 1000 * Kbps
 	Gbps                 = 1000 * Mbps
+
+	// MaxBitRate bounds parsed rates at one petabit per second: far above
+	// any link this simulator models, low enough that downstream
+	// arithmetic (bytes per interval, transmission times) cannot
+	// overflow.
+	MaxBitRate = 1000 * Gbps
 )
 
 // Bps returns the rate as a plain float64 in bits per second.
@@ -67,10 +74,16 @@ func (r BitRate) String() string {
 // ParseBitRate parses a human-friendly rate such as "3mbps", "500kbps",
 // "2.5Mbps", or a bare number of bits per second ("64000"). Unit
 // suffixes are case-insensitive and accept the bps/bit forms kbps, mbps,
-// gbps, and bps. The rate must be positive and finite.
+// gbps, and bps. The rate must be a number (not nan/inf), strictly
+// positive, and at most MaxBitRate; anything else — including garbage
+// suffixes, exponent overflow, and negative values — is rejected with an
+// error naming the original input.
 func ParseBitRate(s string) (BitRate, error) {
 	orig := s
 	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("units: empty bit rate")
+	}
 	unit := BitPerSecond
 	for _, u := range []struct {
 		suffix string
@@ -90,9 +103,15 @@ func ParseBitRate(s string) (BitRate, error) {
 	if err != nil {
 		return 0, fmt.Errorf("units: cannot parse bit rate %q", orig)
 	}
-	r := BitRate(v) * unit
-	if !(r > 0) || r > 1e15 {
-		return 0, fmt.Errorf("units: bit rate %q out of range", orig)
+	if math.IsNaN(v) {
+		return 0, fmt.Errorf("units: bit rate %q is not a number", orig)
+	}
+	if v <= 0 {
+		return 0, fmt.Errorf("units: bit rate %q must be positive", orig)
+	}
+	r := BitRate(v * float64(unit))
+	if math.IsInf(float64(r), 0) || r > MaxBitRate {
+		return 0, fmt.Errorf("units: bit rate %q exceeds %v", orig, MaxBitRate)
 	}
 	return r, nil
 }

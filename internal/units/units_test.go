@@ -3,6 +3,7 @@ package units
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 	"time"
@@ -125,9 +126,45 @@ func TestParseBitRate(t *testing.T) {
 			t.Errorf("ParseBitRate(%q) = %v, want %v", c.in, got, c.want)
 		}
 	}
-	for _, in := range []string{"", "fast", "mbps", "-3mbps", "0", "0kbps", "1e300mbps", "NaN"} {
-		if got, err := ParseBitRate(in); err == nil {
-			t.Errorf("ParseBitRate(%q) = %v, want error", in, got)
+	bad := []struct {
+		in   string
+		why  string
+		frag string // expected fragment of the error message
+	}{
+		{"", "empty input", "empty"},
+		{"   ", "whitespace only", "empty"},
+		{"fast", "no digits", "cannot parse"},
+		{"mbps", "suffix without a number", "cannot parse"},
+		{"3mbpsx", "garbage after suffix", "cannot parse"},
+		{"3 m b p s", "garbage suffix", "cannot parse"},
+		{"3kbps extra", "trailing junk", "cannot parse"},
+		{"--3", "double sign", "cannot parse"},
+		{"3..5mbps", "malformed mantissa", "cannot parse"},
+		{"-3mbps", "negative rate", "must be positive"},
+		{"-0", "negative zero", "must be positive"},
+		{"0", "zero", "must be positive"},
+		{"0kbps", "zero with suffix", "must be positive"},
+		{"NaN", "not a number", "not a number"},
+		{"nan bps", "NaN with suffix", "not a number"},
+		{"+Inf", "infinity", "exceeds"},
+		{"1e300mbps", "mantissa overflow", "exceeds"},
+		{"1e400", "exponent overflow in ParseFloat", "cannot parse"},
+		{"999999999999gbps", "unit multiplication overflow", "exceeds"},
+		{"1000.001gbps", "just above MaxBitRate", "exceeds"},
+	}
+	for _, c := range bad {
+		got, err := ParseBitRate(c.in)
+		if err == nil {
+			t.Errorf("ParseBitRate(%q) = %v, want error (%s)", c.in, got, c.why)
+			continue
 		}
+		if !strings.Contains(err.Error(), c.frag) {
+			t.Errorf("ParseBitRate(%q) error %q, want it to contain %q (%s)", c.in, err, c.frag, c.why)
+		}
+	}
+
+	// The cap itself is accepted exactly.
+	if got, err := ParseBitRate("1000gbps"); err != nil || got != MaxBitRate {
+		t.Errorf("ParseBitRate(1000gbps) = %v, %v; want MaxBitRate", got, err)
 	}
 }
