@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test test-short race fmt-check ci bench repro cover fuzz smoke clean
+.PHONY: all build vet lint test test-short race fmt-check ci bench repro cover fuzz smoke obs-demo clean
 
 all: build vet lint test
 
@@ -56,6 +56,13 @@ smoke:
 	/tmp/pelsd -addr 127.0.0.1:9000 -frames 200 -duration 30s & \
 	sleep 1; /tmp/pelsget -addr 127.0.0.1:9000 -duration 20s -max-green-loss 0; \
 	wait
+
+# Observability demo: run one experiment, export every recorded series
+# (rate, loss, gamma, per-color drops) through internal/obs, and plot
+# the gamma trace in the terminal.
+obs-demo:
+	go run ./cmd/pelsbench -only fig7 -csv /tmp/pels-obs -json /tmp/pels-obs/results.json
+	go run ./cmd/pelsplot -cols gamma_f0 /tmp/pels-obs/fig7_obs.csv
 
 clean:
 	go clean ./...

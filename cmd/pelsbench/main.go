@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/stats"
 )
@@ -168,13 +169,51 @@ func buildJobs(entries []experiments.Entry, baseSeed int64, replicas int, csvDir
 							return runner.Output{}, err
 						}
 					}
-					return runner.Output{Text: res.Output, Events: res.Events, Metrics: res.Metrics}, nil
+					metrics := res.Metrics
+					if res.Obs != nil {
+						// The registry snapshot rides along in -json;
+						// explicitly curated Metrics keys win on collision.
+						snap := res.Obs.Snapshot()
+						if len(snap) > 0 {
+							for k, v := range metrics {
+								snap[k] = v
+							}
+							metrics = snap
+						}
+						name := e.Name + "_obs.csv"
+						if replicas > 1 {
+							name = fmt.Sprintf("r%d_%s", r, name)
+						}
+						if err := writeObsCSV(csvDir, name, res.Obs); err != nil {
+							return runner.Output{}, err
+						}
+					}
+					return runner.Output{Text: res.Output, Events: res.Events, Metrics: metrics}, nil
 				},
 			})
 			titles = append(titles, e.Title)
 		}
 	}
 	return jobs, titles
+}
+
+// writeObsCSV exports every series recorded in reg as one CSV (same
+// column-pair layout as the artifact files, so pelsplot reads it
+// directly). Registries with no series write nothing.
+func writeObsCSV(dir, name string, reg *obs.Registry) error {
+	if dir == "" || len(reg.SeriesNames()) == 0 {
+		return nil
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	defer f.Close()
+	if err := reg.WriteCSV(f); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	return nil
 }
 
 func writeCSV(dir, name string, series ...*stats.TimeSeries) error {

@@ -13,7 +13,12 @@
 //	      [-duration 0] [-epoch 10ms] [-queue 3000] [-link-delay 0]
 //	      [-packet 100] [-frame-packets 80] [-green 8]
 //	      [-frame-interval 10ms] [-alpha 150kbps] [-beta 0.5]
-//	      [-initial-rate 500kbps] [-flow 1]
+//	      [-initial-rate 500kbps] [-flow 1] [-debug 127.0.0.1:9100]
+//
+// With -debug ADDR, pelsd serves live observability over HTTP while
+// streaming: /debug/vars is an expvar-style JSON snapshot of the
+// gateway and sender metrics, /debug/series dumps the recorded rate
+// and gamma series, and /debug/pprof/ exposes the standard profiles.
 package main
 
 import (
@@ -22,12 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
 	"repro/internal/cc"
 	"repro/internal/fgs"
+	"repro/internal/obs"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -55,6 +62,7 @@ func run() error {
 	beta := flag.Float64("beta", 0.5, "MKC multiplicative gain")
 	initialRate := flag.String("initial-rate", "500kbps", "MKC starting rate")
 	flow := flag.Uint("flow", 1, "flow identifier")
+	debugAddr := flag.String("debug", "", "HTTP address serving /debug/vars, /debug/series and /debug/pprof/ (empty = off)")
 	flag.Parse()
 
 	cap, err := units.ParseBitRate(*capacity)
@@ -74,10 +82,22 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	reg := obs.NewRegistry()
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug: %w", err)
+		}
+		srv := &http.Server{Handler: obs.DebugMux(reg)}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "pelsd: debug HTTP on http://%s/debug/vars\n", ln.Addr())
+	}
 	gw := wire.NewGateway(wire.GatewayConfig{
 		RouterID: 1,
 		Interval: *epoch,
 		Capacity: cap,
+		Obs:      reg,
 	})
 	shaped := wire.NewShapedConn(conn, wire.LinkConfig{
 		Bandwidth:  cap,
@@ -119,6 +139,7 @@ func run() error {
 			DedupEpochs: true,
 		},
 		MaxFrames: *frames,
+		Obs:       reg,
 	})
 	if err != nil {
 		return err

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -84,19 +85,46 @@ func TestFeedbackIdleInterval(t *testing.T) {
 
 func TestFeedbackEpochIncrements(t *testing.T) {
 	eng := sim.NewEngine(1)
-	f := NewFeedback(eng, feedbackConfig())
-	var epochs []uint64
-	f.OnCompute = func(e uint64, _ units.BitRate, _ float64) { epochs = append(epochs, e) }
+	reg := obs.NewRegistry()
+	cfg := feedbackConfig()
+	cfg.Obs = reg
+	f := NewFeedback(eng, cfg)
 	if err := eng.RunUntil(150 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if len(epochs) != 5 {
-		t.Fatalf("computed %d intervals, want 5", len(epochs))
+	if got := reg.Counter("feedback_epochs").Value(); got != 5 {
+		t.Fatalf("epoch counter = %d, want 5", got)
 	}
-	for i, e := range epochs {
-		if e != uint64(i+1) {
-			t.Errorf("epoch %d = %d", i, e)
+	if f.Epoch() != 5 {
+		t.Errorf("Epoch() = %d, want 5", f.Epoch())
+	}
+	samples := reg.Series("feedback_loss").TimeSeries().Samples()
+	if len(samples) != 5 {
+		t.Fatalf("recorded %d loss samples, want 5", len(samples))
+	}
+	for i, s := range samples {
+		if want := time.Duration(i+1) * 30 * time.Millisecond; s.At != want {
+			t.Errorf("sample %d at %v, want %v (sim time, not wall time)", i, s.At, want)
 		}
+	}
+}
+
+func TestFeedbackConfiguredMinLossSurvives(t *testing.T) {
+	// Regression: the old guard `MinLoss <= 0` replaced every valid
+	// (negative) configured clamp with DefaultMinLoss.
+	eng := sim.NewEngine(1)
+	cfg := feedbackConfig()
+	cfg.MinLoss = -1
+	f := NewFeedback(eng, cfg)
+	if got := f.Loss(); got != -1 {
+		t.Fatalf("initial loss = %v, want configured MinLoss -1", got)
+	}
+	offer(f, 1, 10, packet.Yellow) // trickle: raw p ≈ −7499
+	if err := eng.RunUntil(30 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.Loss(); got != -1 {
+		t.Errorf("loss = %v, want compute() clamped at configured -1", got)
 	}
 }
 
@@ -212,8 +240,9 @@ func TestFeedbackStop(t *testing.T) {
 func TestFeedbackInvalidConfigPanics(t *testing.T) {
 	eng := sim.NewEngine(1)
 	for name, cfg := range map[string]FeedbackConfig{
-		"zero interval": {RouterID: 1, Capacity: units.Mbps},
-		"zero capacity": {RouterID: 1, Interval: time.Millisecond},
+		"zero interval":    {RouterID: 1, Capacity: units.Mbps},
+		"zero capacity":    {RouterID: 1, Interval: time.Millisecond},
+		"positive MinLoss": {RouterID: 1, Interval: time.Millisecond, Capacity: units.Mbps, MinLoss: 0.5},
 	} {
 		func() {
 			defer func() {

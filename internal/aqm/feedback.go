@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/sim"
 	"repro/internal/units"
@@ -27,8 +28,18 @@ type FeedbackConfig struct {
 	// MinLoss clamps the computed loss from below. Negative p is
 	// meaningful (it drives MKC's exponential bandwidth claiming), but an
 	// idle interval would otherwise produce p → −∞. Zero selects
-	// DefaultMinLoss.
+	// DefaultMinLoss; positive values are invalid (the clamp is a lower
+	// bound on a quantity that is negative exactly when there is spare
+	// capacity, so a positive bound would fabricate congestion).
 	MinLoss float64
+	// Obs, if non-nil, receives the router's per-interval series
+	// (Prefix+"feedback_loss", Prefix+"feedback_rate_kbps") and epoch
+	// counter, timestamped with simulation time. It replaces the former
+	// OnCompute callback.
+	Obs *obs.Registry
+	// Prefix namespaces the metric names, for topologies that register
+	// several feedback routers in one registry.
+	Prefix string
 	// StampBestEffort extends feedback stamping to best-effort-colored
 	// packets, used by the baseline streaming scheme.
 	StampBestEffort bool
@@ -54,10 +65,9 @@ type Feedback struct {
 	epoch uint64
 	loss  float64
 
-	// OnCompute, if non-nil, is invoked after each interval computation
-	// with the new epoch, measured rate and loss (for time-series
-	// collection in experiments).
-	OnCompute func(epoch uint64, rate units.BitRate, loss float64)
+	lossSeries *obs.Series
+	rateSeries *obs.Series
+	epochs     *obs.Counter
 }
 
 var _ netsim.Processor = (*Feedback)(nil)
@@ -70,10 +80,22 @@ func NewFeedback(eng *sim.Engine, cfg FeedbackConfig) *Feedback {
 	if cfg.Capacity <= 0 {
 		panic("aqm: feedback capacity must be positive")
 	}
-	if cfg.MinLoss <= 0 {
+	if cfg.MinLoss > 0 {
+		panic("aqm: feedback MinLoss must be negative (it bounds the spare-capacity signal)")
+	}
+	// Exact zero-value check distinguishing "unset" from a configured
+	// clamp: valid MinLoss values are strictly negative, so 0 can only
+	// mean the field was left at its zero value.
+	//pelsvet:allow floateq
+	if cfg.MinLoss == 0 {
 		cfg.MinLoss = DefaultMinLoss
 	}
 	f := &Feedback{cfg: cfg, eng: eng, loss: cfg.MinLoss}
+	if cfg.Obs != nil {
+		f.lossSeries = cfg.Obs.Series(cfg.Prefix + "feedback_loss")
+		f.rateSeries = cfg.Obs.Series(cfg.Prefix + "feedback_rate_kbps")
+		f.epochs = cfg.Obs.Counter(cfg.Prefix + "feedback_epochs")
+	}
 	f.ticker = sim.NewTicker(eng, cfg.Interval, f.compute)
 	f.ticker.Start()
 	return f
@@ -114,8 +136,11 @@ func (f *Feedback) compute() {
 	f.loss = loss
 	f.epoch++
 	f.bytes = 0
-	if f.OnCompute != nil {
-		f.OnCompute(f.epoch, rate, loss)
+	if f.epochs != nil {
+		f.epochs.Inc()
+		now := f.eng.Now()
+		f.lossSeries.Add(now, loss)
+		f.rateSeries.Add(now, rate.KbpsValue())
 	}
 }
 

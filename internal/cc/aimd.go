@@ -41,9 +41,6 @@ type AIMD struct {
 	rate  units.BitRate
 	loss  float64
 	fresh freshness
-
-	// OnUpdate, if non-nil, fires after every accepted rate update.
-	OnUpdate func(rate units.BitRate, loss float64)
 }
 
 var _ Controller = (*AIMD)(nil)
@@ -72,9 +69,6 @@ func (a *AIMD) OnFeedback(fb packet.Feedback) bool {
 		next = a.rate + a.cfg.Increase
 	}
 	a.rate = clampRate(next, a.cfg.MinRate, a.cfg.MaxRate)
-	if a.OnUpdate != nil {
-		a.OnUpdate(a.rate, a.loss)
-	}
 	return true
 }
 

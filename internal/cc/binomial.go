@@ -58,9 +58,6 @@ type Binomial struct {
 	rate  units.BitRate
 	loss  float64
 	fresh freshness
-
-	// OnUpdate, if non-nil, fires after every accepted rate update.
-	OnUpdate func(rate units.BitRate, loss float64)
 }
 
 var _ Controller = (*Binomial)(nil)
@@ -92,9 +89,6 @@ func (b *Binomial) OnFeedback(fbk packet.Feedback) bool {
 		r += b.cfg.Alpha / math.Pow(r, b.cfg.K)
 	}
 	b.rate = clampRate(units.BitRate(r*1000), b.cfg.MinRate, b.cfg.MaxRate)
-	if b.OnUpdate != nil {
-		b.OnUpdate(b.rate, b.loss)
-	}
 	return true
 }
 

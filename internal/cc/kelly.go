@@ -51,9 +51,6 @@ type Kelly struct {
 	rate  units.BitRate
 	loss  float64
 	fresh freshness
-
-	// OnUpdate, if non-nil, fires after every accepted rate update.
-	OnUpdate func(rate units.BitRate, loss float64)
 }
 
 var _ Controller = (*Kelly)(nil)
@@ -84,9 +81,6 @@ func (k *Kelly) OnFeedback(fb packet.Feedback) bool {
 	h := k.cfg.Step.Seconds()
 	delta := h * (float64(k.cfg.Alpha) - k.cfg.Beta*fb.Loss*float64(k.rate))
 	k.rate = clampRate(k.rate+units.BitRate(delta), k.cfg.MinRate, k.cfg.MaxRate)
-	if k.OnUpdate != nil {
-		k.OnUpdate(k.rate, k.loss)
-	}
 	return true
 }
 

@@ -55,9 +55,6 @@ type MKC struct {
 	fresh freshness
 
 	updates int64
-
-	// OnUpdate, if non-nil, fires after every accepted rate update.
-	OnUpdate func(rate units.BitRate, loss float64)
 }
 
 var _ Controller = (*MKC)(nil)
@@ -94,9 +91,6 @@ func (m *MKC) OnFeedback(fb packet.Feedback) bool {
 	next := m.rate + m.cfg.Alpha - units.BitRate(m.cfg.Beta*float64(m.rate)*fb.Loss)
 	m.rate = clampRate(next, m.cfg.MinRate, m.cfg.MaxRate)
 	m.updates++
-	if m.OnUpdate != nil {
-		m.OnUpdate(m.rate, m.loss)
-	}
 	return true
 }
 

@@ -62,9 +62,6 @@ type TFRC struct {
 	loss  float64 // smoothed loss estimate
 	last  float64 // last raw feedback
 	fresh freshness
-
-	// OnUpdate, if non-nil, fires after every accepted rate update.
-	OnUpdate func(rate units.BitRate, loss float64)
 }
 
 var _ Controller = (*TFRC)(nil)
@@ -129,9 +126,6 @@ func (t *TFRC) OnFeedback(fb packet.Feedback) bool {
 	target := t.cfg.EquationRate(t.loss)
 	next := t.rate + units.BitRate(t.cfg.Smoothing*float64(target-t.rate))
 	t.rate = clampRate(next, t.cfg.MinRate, t.cfg.MaxRate)
-	if t.OnUpdate != nil {
-		t.OnUpdate(t.rate, t.last)
-	}
 	return true
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/analysis"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -28,6 +29,8 @@ type Figure7Run struct {
 	RedLossTail, PThr float64
 	// Events is the number of simulator events this run processed.
 	Events uint64
+	// Obs is the run's testbed metric registry.
+	Obs *obs.Registry
 }
 
 // Figure7Config parameterizes the experiment.
@@ -78,6 +81,7 @@ func Figure7(cfg Figure7Config) ([]Figure7Run, error) {
 			RedLossTail:   tb.RedLossSeries.MeanAfter(cfg.Duration / 2),
 			PThr:          pthr,
 			Events:        tb.Eng.Processed(),
+			Obs:           tb.Obs,
 		}
 		runs = append(runs, run)
 	}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -29,6 +30,8 @@ type Figure8Result struct {
 	Duration                                time.Duration
 	// Events is the number of simulator events the run processed.
 	Events uint64
+	// Obs is the run's testbed metric registry.
+	Obs *obs.Registry
 }
 
 // Figure8Config parameterizes the staircase workload.
@@ -70,6 +73,7 @@ func Figure8(cfg Figure8Config) (*Figure8Result, error) {
 		return nil, fmt.Errorf("experiments: figure 8: %w", err)
 	}
 	res := &Figure8Result{
+		Obs:           tb.Obs,
 		Green:         tb.GreenDelay,
 		Yellow:        tb.YellowDelay,
 		Red:           tb.RedDelay,

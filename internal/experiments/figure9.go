@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/units"
 )
@@ -31,6 +32,8 @@ type Figure9Result struct {
 	JoinAt      time.Duration
 	// Events is the number of simulator events the run processed.
 	Events uint64
+	// Obs is the run's testbed metric registry.
+	Obs *obs.Registry
 }
 
 // Figure9Config parameterizes the convergence run.
@@ -68,6 +71,7 @@ func Figure9(cfg Figure9Config) (*Figure9Result, error) {
 	}
 	scfg := tcfg.Session.WithDefaults()
 	res := &Figure9Result{
+		Obs:      tb.Obs,
 		Rates:    tb.RateSeries,
 		Capacity: tcfg.PELSCapacity(),
 		FairRate: scfg.MKC.StationaryRate(tcfg.PELSCapacity(), 2),

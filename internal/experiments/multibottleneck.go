@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/aqm"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pels"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -38,6 +39,9 @@ type MultiBottleneckResult struct {
 	ShiftAt           time.Duration
 	// Events is the number of simulator events the run processed.
 	Events uint64
+	// Obs is the run's metric registry (rate/bottleneck series plus both
+	// routers' feedback series under the r1./r2. prefixes).
+	Obs *obs.Registry
 }
 
 // MultiBottleneckConfig parameterizes the experiment.
@@ -74,11 +78,14 @@ func MultiBottleneck(cfg MultiBottleneckConfig) (*MultiBottleneckResult, error) 
 	r2 := nw.NewRouter("r2")
 	r3 := nw.NewRouter("r3")
 
+	reg := obs.NewRegistry()
 	fb1 := aqm.NewFeedback(eng, aqm.FeedbackConfig{
 		RouterID: r1.ID(), Interval: 30 * time.Millisecond, Capacity: cfg.C1,
+		Obs: reg, Prefix: "r1.",
 	})
 	fb2 := aqm.NewFeedback(eng, aqm.FeedbackConfig{
 		RouterID: r2.ID(), Interval: 30 * time.Millisecond, Capacity: cfg.C2,
+		Obs: reg, Prefix: "r2.",
 	})
 
 	b1 := aqm.NewBottleneck(aqm.DefaultBottleneckConfig())
@@ -101,21 +108,21 @@ func MultiBottleneck(cfg MultiBottleneckConfig) (*MultiBottleneckResult, error) 
 		return nil, fmt.Errorf("experiments: multibottleneck: %w", err)
 	}
 
-	source, sink, err := pels.Session(nw, src, dst, pels.Config{Flow: 1})
+	source, sink, err := pels.Session(nw, src, dst, pels.Config{
+		Flow:       1,
+		RateSeries: reg.Series("rate_kbps"),
+	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: multibottleneck: %w", err)
 	}
-	_ = sink
 
 	res := &MultiBottleneckResult{
-		Rate:         stats.NewTimeSeries("rate_kbps"),
-		BottleneckID: stats.NewTimeSeries("bottleneck_router"),
+		Rate:         reg.Series("rate_kbps").TimeSeries(),
+		BottleneckID: reg.Series("bottleneck_router").TimeSeries(),
 		R1ID:         r1.ID(),
 		R2ID:         r2.ID(),
 		ShiftAt:      cfg.ShiftAt,
-	}
-	source.OnRate = func(at time.Duration, rate units.BitRate, _ float64) {
-		res.Rate.Add(at, rate.KbpsValue())
+		Obs:          reg,
 	}
 	probe := sim.NewTicker(eng, 100*time.Millisecond, func() {
 		fb := sink.LatestFeedback()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -31,6 +32,12 @@ type Result struct {
 	// -json (goodput, per-color loss, …). Nil for experiments whose
 	// results live in Output text alone.
 	Metrics map[string]float64
+	// Obs, if non-nil, is the experiment's full metric registry.
+	// pelsbench merges its flat snapshot into Metrics (explicit Metrics
+	// keys win) and can export every recorded series to CSV. For
+	// experiments that run several testbeds, it is the last run's
+	// registry.
+	Obs *obs.Registry
 }
 
 // Entry is one registered experiment: a stable name, a human title for
@@ -94,6 +101,7 @@ func Registry() []Entry {
 				res := Result{Output: FormatFigure7(runs)}
 				for _, r := range runs {
 					res.Events += r.Events
+					res.Obs = r.Obs
 					res.Artifacts = append(res.Artifacts, Artifact{
 						Name:   fmt.Sprintf("fig7_n%d.csv", r.NumFlows),
 						Series: []*stats.TimeSeries{r.Gamma, r.RedLoss},
@@ -115,6 +123,7 @@ func Registry() []Entry {
 				return Result{
 					Output: FormatFigure8(res),
 					Events: res.Events,
+					Obs:    res.Obs,
 					Artifacts: []Artifact{{
 						Name:   "fig8_delays.csv",
 						Series: []*stats.TimeSeries{res.Green, res.Yellow, res.Red},
@@ -135,6 +144,7 @@ func Registry() []Entry {
 				return Result{
 					Output:    FormatFigure9(res),
 					Events:    res.Events,
+					Obs:       res.Obs,
 					Artifacts: []Artifact{{Name: "fig9_rates.csv", Series: res.Rates}},
 				}, nil
 			},
@@ -190,6 +200,7 @@ func Registry() []Entry {
 				return Result{
 					Output: FormatMultiBottleneck(res),
 					Events: res.Events,
+					Obs:    res.Obs,
 					Artifacts: []Artifact{{
 						Name:   "multibottleneck.csv",
 						Series: []*stats.TimeSeries{res.Rate, res.BottleneckID},
@@ -284,6 +295,7 @@ func Registry() []Entry {
 					Output:  FormatWireLoopback(res),
 					Events:  res.Datagrams(),
 					Metrics: res.Metrics(),
+					Obs:     res.Obs,
 				}, nil
 			},
 		},

@@ -12,6 +12,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/crosstraffic"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/pels"
 	"repro/internal/queue"
@@ -117,10 +118,16 @@ type Testbed struct {
 	TCPReceivers []*tcp.Receiver
 	OnOffSources []*crosstraffic.OnOff
 
+	// Obs is the run's metric registry. Every series below is backed by
+	// it, the bottleneck queue counters are registered as pull gauges,
+	// and experiments export the whole registry through Result.Obs.
+	Obs *obs.Registry
+
 	// Delay series per color, sampled at bottleneck transmission time.
 	GreenDelay, YellowDelay, RedDelay *stats.TimeSeries
 	// FeedbackLoss records the router's p(k) series; FeedbackRate the
-	// measured aggregate arrival rate R(k) in kb/s.
+	// measured aggregate arrival rate R(k) in kb/s. Both are recorded by
+	// the aqm.Feedback processor itself via the registry.
 	FeedbackLoss, FeedbackRate *stats.TimeSeries
 	// RateSeries and GammaSeries are indexed by PELS flow.
 	RateSeries  []*stats.TimeSeries
@@ -128,14 +135,18 @@ type Testbed struct {
 	// RedLossSeries samples the red queue's interval loss rate (PELS runs)
 	// or the video queue's loss rate (best-effort runs).
 	RedLossSeries *stats.TimeSeries
+	// DropSeries samples per-interval drop counts of the three PELS color
+	// queues ("green_drops", "yellow_drops", "red_drops"); nil for
+	// best-effort runs, which have a single video queue.
+	DropSeries map[packet.Color]*stats.TimeSeries
 	// VideoBytesTransmitted counts video (PELS + best-effort colored)
 	// bytes serialized onto the bottleneck — the denominator of useful
 	// link utilization.
 	VideoBytesTransmitted int64
 
-	redProbe  *sim.Ticker
-	prevRed   queue.Counters
-	prevVideo queue.Counters
+	queueProbe *sim.Ticker
+	prevColor  map[packet.Color]queue.Counters
+	prevVideo  queue.Counters
 }
 
 // NewTestbed builds the topology, queues, flows, and instrumentation.
@@ -149,36 +160,37 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	eng := sim.NewEngine(cfg.Seed)
 	net := netsim.NewNetwork(eng)
 
+	reg := obs.NewRegistry()
 	tb := &Testbed{
 		Cfg:           cfg,
 		Eng:           eng,
 		Net:           net,
-		GreenDelay:    stats.NewTimeSeries("green_delay_ms"),
-		YellowDelay:   stats.NewTimeSeries("yellow_delay_ms"),
-		RedDelay:      stats.NewTimeSeries("red_delay_ms"),
-		FeedbackLoss:  stats.NewTimeSeries("feedback_loss"),
-		FeedbackRate:  stats.NewTimeSeries("feedback_rate_kbps"),
-		RedLossSeries: stats.NewTimeSeries("red_loss"),
+		Obs:           reg,
+		GreenDelay:    reg.Series("green_delay_ms").TimeSeries(),
+		YellowDelay:   reg.Series("yellow_delay_ms").TimeSeries(),
+		RedDelay:      reg.Series("red_delay_ms").TimeSeries(),
+		FeedbackLoss:  reg.Series("feedback_loss").TimeSeries(),
+		FeedbackRate:  reg.Series("feedback_rate_kbps").TimeSeries(),
+		RedLossSeries: reg.Series("red_loss").TimeSeries(),
 	}
 
 	tb.R1 = net.NewRouter("r1")
 	tb.R2 = net.NewRouter("r2")
 
 	// The feedback processor must exist before the bottleneck queues for
-	// best-effort runs (the oracle queue samples its loss).
+	// best-effort runs (the oracle queue samples its loss). It records
+	// the feedback_loss / feedback_rate_kbps series through the registry.
 	tb.Feedback = aqm.NewFeedback(eng, aqm.FeedbackConfig{
 		RouterID:        tb.R1.ID(),
 		Interval:        cfg.FeedbackInterval,
 		Capacity:        cfg.PELSCapacity(),
+		Obs:             reg,
 		StampBestEffort: cfg.BestEffort,
 		GreenOnly:       cfg.GreenOnlyFeedback,
 	})
-	tb.Feedback.OnCompute = func(_ uint64, rate units.BitRate, loss float64) {
-		tb.FeedbackLoss.Add(eng.Now(), loss)
-		tb.FeedbackRate.Add(eng.Now(), rate.KbpsValue())
-	}
 
-	// Bottleneck queue structure.
+	// Bottleneck queue structure. The live queue counters are exported as
+	// pull gauges under queue.<name>.*.
 	var disc queue.Discipline
 	if cfg.BestEffort {
 		tb.BEQueues = aqm.NewBestEffortBottleneck(cfg.Bottleneck, func() float64 {
@@ -188,9 +200,24 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 			return 0
 		}, eng.Rand())
 		disc = tb.BEQueues.Disc
+		tb.BEQueues.Video.Observe(reg, "queue.video.")
+		tb.BEQueues.Internet.Observe(reg, "queue.internet.")
 	} else {
 		tb.PELSQueues = aqm.NewBottleneck(cfg.Bottleneck)
 		disc = tb.PELSQueues.Disc
+		tb.DropSeries = map[packet.Color]*stats.TimeSeries{
+			packet.Green:  reg.Series("green_drops").TimeSeries(),
+			packet.Yellow: reg.Series("yellow_drops").TimeSeries(),
+			packet.Red:    reg.Series("red_drops").TimeSeries(),
+		}
+		for color, name := range map[packet.Color]string{
+			packet.Green:  "green",
+			packet.Yellow: "yellow",
+			packet.Red:    "red",
+		} {
+			tb.PELSQueues.PELS.Queue(color).Observe(reg, "queue."+name+".")
+		}
+		tb.PELSQueues.Internet.Observe(reg, "queue.internet.")
 	}
 
 	// Bottleneck duplex link R1<->R2. The reverse direction carries only
@@ -202,6 +229,7 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	// Feedback measures and stamps per bottleneck queue (the forward
 	// link), not per router — see netsim.Link.Proc.
 	tb.Forward.Proc = tb.Feedback
+	tb.Forward.Instrument(reg, "bottleneck.")
 	tb.Forward.OnTransmit = func(p *packet.Packet) {
 		ms := float64(p.QueueingDelay()) / float64(time.Millisecond)
 		switch p.Color {
@@ -217,9 +245,11 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		}
 	}
 
-	// Per-interval red-queue loss probe (Fig. 7 right).
-	tb.redProbe = sim.NewTicker(eng, cfg.FeedbackInterval*10, tb.probeRedLoss)
-	tb.redProbe.Start()
+	// Per-interval queue probe: red-queue loss rate (Fig. 7 right) and
+	// per-color drop counts.
+	tb.prevColor = make(map[packet.Color]queue.Counters)
+	tb.queueProbe = sim.NewTicker(eng, cfg.FeedbackInterval*10, tb.probeQueues)
+	tb.queueProbe.Start()
 
 	// Video flows.
 	accessCfg := netsim.LinkConfig{Rate: cfg.AccessRate, Delay: cfg.AccessDelay}
@@ -232,6 +262,8 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		if i < len(cfg.SessionTweaks) && cfg.SessionTweaks[i] != nil {
 			cfg.SessionTweaks[i](&scfg)
 		}
+		scfg.RateSeries = reg.Series(fmt.Sprintf("rate_kbps_f%d", i))
+		scfg.GammaSeries = reg.Series(fmt.Sprintf("gamma_f%d", i))
 		srcHost := net.NewHost(fmt.Sprintf("s%d", i))
 		dstHost := net.NewHost(fmt.Sprintf("d%d", i))
 		flowAccess := accessCfg
@@ -244,17 +276,8 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: build flow %d: %w", i, err)
 		}
-		flow := i
-		rs := stats.NewTimeSeries(fmt.Sprintf("rate_kbps_f%d", flow))
-		gs := stats.NewTimeSeries(fmt.Sprintf("gamma_f%d", flow))
-		src.OnRate = func(at time.Duration, rate units.BitRate, _ float64) {
-			rs.Add(at, rate.KbpsValue())
-		}
-		src.OnGamma = func(at time.Duration, g float64) {
-			gs.Add(at, g)
-		}
-		tb.RateSeries = append(tb.RateSeries, rs)
-		tb.GammaSeries = append(tb.GammaSeries, gs)
+		tb.RateSeries = append(tb.RateSeries, scfg.RateSeries.TimeSeries())
+		tb.GammaSeries = append(tb.GammaSeries, scfg.GammaSeries.TimeSeries())
 		tb.Sources = append(tb.Sources, src)
 		tb.Sinks = append(tb.Sinks, sink)
 	}
@@ -289,26 +312,29 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	return tb, nil
 }
 
-func (tb *Testbed) probeRedLoss() {
-	var cur queue.Counters
+func (tb *Testbed) probeQueues() {
+	now := tb.Eng.Now()
 	if tb.PELSQueues != nil {
-		cur = tb.PELSQueues.PELS.ColorCounters(packet.Red)
-		prev := tb.prevRed
-		tb.prevRed = cur
-		dArr := cur.Arrived - prev.Arrived
-		dDrop := cur.Dropped - prev.Dropped
-		if dArr > 0 {
-			tb.RedLossSeries.Add(tb.Eng.Now(), float64(dDrop)/float64(dArr))
+		for _, color := range []packet.Color{packet.Green, packet.Yellow, packet.Red} {
+			cur := tb.PELSQueues.PELS.ColorCounters(color)
+			prev := tb.prevColor[color]
+			tb.prevColor[color] = cur
+			dArr := cur.Arrived - prev.Arrived
+			dDrop := cur.Dropped - prev.Dropped
+			tb.DropSeries[color].Add(now, float64(dDrop))
+			if color == packet.Red && dArr > 0 {
+				tb.RedLossSeries.Add(now, float64(dDrop)/float64(dArr))
+			}
 		}
 		return
 	}
-	cur = tb.BEQueues.Video.Counters
+	cur := tb.BEQueues.Video.Counters
 	prev := tb.prevVideo
 	tb.prevVideo = cur
 	dArr := cur.Arrived - prev.Arrived
 	dDrop := cur.Dropped - prev.Dropped
 	if dArr > 0 {
-		tb.RedLossSeries.Add(tb.Eng.Now(), float64(dDrop)/float64(dArr))
+		tb.RedLossSeries.Add(now, float64(dDrop)/float64(dArr))
 	}
 }
 

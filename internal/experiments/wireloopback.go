@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/fgs"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/units"
 	"repro/internal/wire"
@@ -77,15 +78,20 @@ type WireLoopbackResult struct {
 	Link wire.LinkStats
 	// Goodput is the delivered wire bitrate over the arrival interval.
 	Goodput units.BitRate
+	// Obs is the run's metric registry: gateway/sender/receiver counters
+	// and the sender's wall-clock rate and gamma series.
+	Obs *obs.Registry
 }
 
 // WireLoopback streams cfg.Frames FGS frames through the emulator and
 // returns the converged statistics.
 func WireLoopback(cfg WireLoopbackConfig) (WireLoopbackResult, error) {
+	reg := obs.NewRegistry()
 	gw := wire.NewGateway(wire.GatewayConfig{
 		RouterID: 1,
 		Interval: cfg.Interval,
 		Capacity: cfg.Capacity,
+		Obs:      reg,
 	})
 	emu := wire.NewEmulator(wire.EmulatorConfig{
 		AtoB: wire.LinkConfig{
@@ -106,11 +112,12 @@ func WireLoopback(cfg WireLoopbackConfig) (WireLoopbackResult, error) {
 		MKC:           cfg.MKC,
 		BurstBytes:    16 * cfg.Frame.PacketSize,
 		MaxFrames:     cfg.Frames,
+		Obs:           reg,
 	})
 	if err != nil {
 		return WireLoopbackResult{}, err
 	}
-	recv := wire.NewReceiver(emu.B(), wire.ReceiverConfig{Flow: 1})
+	recv := wire.NewReceiver(emu.B(), wire.ReceiverConfig{Flow: 1, Obs: reg})
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -133,6 +140,7 @@ func WireLoopback(cfg WireLoopbackConfig) (WireLoopbackResult, error) {
 		Sender:   sender.Stats(),
 		Receiver: recv.Stats(),
 		Link:     emu.StatsAtoB(),
+		Obs:      reg,
 	}
 	cancel()
 	wg.Wait()

@@ -9,7 +9,9 @@ import (
 // form the deterministic simulation core: everything inside them must be a
 // pure function of the simulation seed. Only internal/wire,
 // internal/runner, and the cmd/ binaries may touch the wall clock; they
-// sit outside this set.
+// sit outside this set. internal/obs is included: it serves both sides,
+// so its call paths must never read the clock themselves — callers pass
+// every timestamp in (sim time or a wall-clock offset).
 var deterministicPkgs = map[string]bool{
 	"sim":          true,
 	"netsim":       true,
@@ -22,6 +24,7 @@ var deterministicPkgs = map[string]bool{
 	"tcp":          true,
 	"video":        true,
 	"stats":        true,
+	"obs":          true,
 }
 
 // walltimeBanned lists the package time functions that read or wait on the
@@ -48,7 +51,7 @@ var WallTime = &Analyzer{
 	Name: "walltime",
 	Doc: "forbid time.Now/Sleep/After/Since and timer constructors in the " +
 		"deterministic simulation packages (sim, netsim, queue, aqm, cc, pels, " +
-		"fgs, crosstraffic, tcp, video, stats); only internal/wire, " +
+		"fgs, crosstraffic, tcp, video, stats, obs); only internal/wire, " +
 		"internal/runner, and cmd/ may touch the wall clock",
 	Run: runWallTime,
 }

@@ -7,6 +7,7 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/queue"
 	"repro/internal/sim"
@@ -34,6 +35,10 @@ type Link struct {
 
 	transmittedPkts  int64
 	transmittedBytes int64
+
+	obsTx      *obs.Counter
+	obsTxBytes *obs.Counter
+	obsDrops   *obs.Counter
 
 	// Proc, if non-nil, processes every packet offered to this link
 	// before it is enqueued (drops included — the PELS arrival counter S
@@ -72,6 +77,9 @@ func (l *Link) Send(p *packet.Packet) {
 	}
 	p.Enqueued = l.eng.Now()
 	if !l.disc.Enqueue(p) {
+		if l.obsDrops != nil {
+			l.obsDrops.Inc()
+		}
 		if l.OnDrop != nil {
 			l.OnDrop(p)
 		}
@@ -100,9 +108,21 @@ func (l *Link) transmitNext() {
 	l.eng.Schedule(tx, func() {
 		l.transmittedPkts++
 		l.transmittedBytes += int64(p.Size)
+		if l.obsTx != nil {
+			l.obsTx.Inc()
+			l.obsTxBytes.Add(int64(p.Size))
+		}
 		l.eng.Schedule(l.delay, func() { l.dst.Receive(p) })
 		l.transmitNext()
 	})
+}
+
+// Instrument registers the link's transmit and drop totals in reg as
+// counters prefix+"tx_packets", prefix+"tx_bytes", and prefix+"drops".
+func (l *Link) Instrument(reg *obs.Registry, prefix string) {
+	l.obsTx = reg.Counter(prefix + "tx_packets")
+	l.obsTxBytes = reg.Counter(prefix + "tx_bytes")
+	l.obsDrops = reg.Counter(prefix + "drops")
 }
 
 // Rate returns the link's capacity.

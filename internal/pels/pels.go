@@ -18,6 +18,7 @@ import (
 	"repro/internal/cc"
 	"repro/internal/fgs"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -88,6 +89,13 @@ type Config struct {
 	// fgs.RDScaler implements the complexity-aware allocation the paper
 	// cites as a quality-smoothing extension.
 	Scaler fgs.Scaler
+	// RateSeries, if non-nil, records every accepted rate update (kb/s)
+	// at simulation time. It replaces the former OnRate callback and
+	// normally comes from an obs.Registry shared by the experiment.
+	RateSeries *obs.Series
+	// GammaSeries, if non-nil, records every γ update at simulation time
+	// (PELS mode only). It replaces the former OnGamma callback.
+	GammaSeries *obs.Series
 }
 
 // WithDefaults returns the configuration with every zero field replaced by

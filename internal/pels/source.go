@@ -38,12 +38,6 @@ type Source struct {
 
 	pktsSent  int64
 	bytesSent int64
-
-	// OnRate, if non-nil, fires on every accepted rate update with the
-	// new rate and the feedback loss that produced it.
-	OnRate func(at time.Duration, rate units.BitRate, loss float64)
-	// OnGamma, if non-nil, fires on every γ update.
-	OnGamma func(at time.Duration, gamma float64)
 }
 
 var _ netsim.App = (*Source)(nil)
@@ -179,13 +173,13 @@ func (s *Source) HandlePacket(p *packet.Packet) {
 		return // stale epoch: already reacted to this feedback
 	}
 	now := s.eng.Now()
-	if s.OnRate != nil {
-		s.OnRate(now, s.ctrl.Rate(), p.AckedFeedback.Loss)
+	if s.cfg.RateSeries != nil {
+		s.cfg.RateSeries.Add(now, s.ctrl.Rate().KbpsValue())
 	}
 	if s.cfg.Mode == ModePELS {
 		g := s.gamma.Update(p.AckedFeedback.Loss)
-		if s.OnGamma != nil {
-			s.OnGamma(now, g)
+		if s.cfg.GammaSeries != nil {
+			s.cfg.GammaSeries.Add(now, g)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 package queue
 
 import (
+	"repro/internal/obs"
 	"repro/internal/packet"
 )
 
@@ -56,6 +57,19 @@ func (c *Counters) LossRate() float64 {
 
 // Reset zeroes all counters (used for per-interval loss measurements).
 func (c *Counters) Reset() { *c = Counters{} }
+
+// Observe registers pull-style gauges for the counters in reg under
+// prefix (prefix+"arrived", "arrived_bytes", "dropped", "dropped_bytes",
+// "dequeued", "loss_rate"). Pull gauges read the live counters at
+// snapshot time, so the hot enqueue/dequeue path stays untouched.
+func (c *Counters) Observe(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"arrived", func() float64 { return float64(c.Arrived) })
+	reg.GaugeFunc(prefix+"arrived_bytes", func() float64 { return float64(c.ArrivedBytes) })
+	reg.GaugeFunc(prefix+"dropped", func() float64 { return float64(c.Dropped) })
+	reg.GaugeFunc(prefix+"dropped_bytes", func() float64 { return float64(c.DroppedBytes) })
+	reg.GaugeFunc(prefix+"dequeued", func() float64 { return float64(c.Dequeued) })
+	reg.GaugeFunc(prefix+"loss_rate", c.LossRate)
+}
 
 // fifo is a slice-backed packet FIFO with amortized O(1) operations.
 type fifo struct {

@@ -38,6 +38,9 @@ type Output struct {
 	Events uint64
 	// Metrics are named scalar outcomes (goodput, loss rates, …) the
 	// job wants surfaced in machine-readable output. May be nil.
+	// pelsbench populates it with the experiment's full obs.Registry
+	// snapshot merged under its curated metric keys, so -json results
+	// carry every recorded counter and gauge.
 	Metrics map[string]float64
 }
 

@@ -29,6 +29,11 @@ type Engine struct {
 	rng     *rand.Rand
 	stopped bool
 
+	// cancelled counts queued events whose Cancel has been called. When
+	// they exceed half the heap the engine compacts, so cancel-heavy
+	// models (retransmit timers) stay O(live events).
+	cancelled int
+
 	// processed counts events executed so far (for limits and reporting).
 	processed uint64
 	// maxEvents aborts runaway simulations; 0 means no limit.
@@ -74,10 +79,37 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	if t < e.now {
 		t = e.now
 	}
-	ev := &Event{at: t, seq: e.seq, fn: fn}
+	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
 	heap.Push(&e.events, ev)
 	return ev
+}
+
+// compactThreshold is the minimum heap size before cancellation-triggered
+// compaction kicks in; below it a rebuild costs more than it saves.
+const compactThreshold = 32
+
+// maybeCompact rebuilds the heap without cancelled events once they
+// outnumber live ones. Rebuilding preserves determinism: the heap order is
+// the total order (at, seq), so any rebuild yields the same pop sequence.
+func (e *Engine) maybeCompact() {
+	if len(e.events) < compactThreshold || 2*e.cancelled <= len(e.events) {
+		return
+	}
+	live := e.events[:0]
+	for _, ev := range e.events {
+		if ev.cancelled {
+			ev.done = true
+			continue
+		}
+		live = append(live, ev)
+	}
+	for i := len(live); i < len(e.events); i++ {
+		e.events[i] = nil
+	}
+	e.events = live
+	e.cancelled = 0
+	heap.Init(&e.events)
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -110,8 +142,11 @@ func (e *Engine) run(deadline time.Duration) error {
 		}
 		heap.Pop(&e.events)
 		if next.cancelled {
+			next.done = true
+			e.cancelled--
 			continue
 		}
+		next.done = true
 		e.now = next.at
 		e.processed++
 		if e.maxEvents > 0 && e.processed > e.maxEvents {
@@ -125,21 +160,33 @@ func (e *Engine) run(deadline time.Duration) error {
 	return nil
 }
 
-// Pending returns the number of events currently queued (including
-// cancelled events that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending returns the number of live (not cancelled) events currently
+// queued.
+func (e *Engine) Pending() int { return len(e.events) - e.cancelled }
 
 // Event is a handle to a scheduled callback.
 type Event struct {
 	at        time.Duration
 	seq       uint64
 	fn        func()
+	eng       *Engine
 	cancelled bool
+	// done marks an event that has left the heap (fired, skipped, or
+	// compacted away), so a late Cancel cannot skew the engine's
+	// cancelled-event accounting.
+	done bool
 }
 
 // Cancel prevents the event from firing. Cancelling an already-executed or
 // already-cancelled event is a no-op.
-func (ev *Event) Cancel() { ev.cancelled = true }
+func (ev *Event) Cancel() {
+	if ev.cancelled || ev.done {
+		return
+	}
+	ev.cancelled = true
+	ev.eng.cancelled++
+	ev.eng.maybeCompact()
+}
 
 // Cancelled reports whether the event has been cancelled.
 func (ev *Event) Cancelled() bool { return ev.cancelled }

@@ -299,3 +299,103 @@ func TestEnginePendingCount(t *testing.T) {
 		t.Errorf("Pending() = %d after Run, want 0", eng.Pending())
 	}
 }
+
+func TestEnginePendingExcludesCancelled(t *testing.T) {
+	eng := NewEngine(1)
+	var evs []*Event
+	for i := 0; i < 8; i++ {
+		evs = append(evs, eng.Schedule(time.Second, func() {}))
+	}
+	evs[1].Cancel()
+	evs[4].Cancel()
+	evs[4].Cancel() // double-cancel must not double-count
+	if got := eng.Pending(); got != 6 {
+		t.Errorf("Pending() = %d, want 6 (8 queued, 2 cancelled)", got)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Pending() != 0 {
+		t.Errorf("Pending() = %d after Run, want 0", eng.Pending())
+	}
+}
+
+func TestEngineCompactsCancelledEvents(t *testing.T) {
+	eng := NewEngine(1)
+	const n = 100
+	evs := make([]*Event, n)
+	for i := 0; i < n; i++ {
+		evs[i] = eng.Schedule(time.Duration(i+1)*time.Second, func() {})
+	}
+	// Cancel well past half the heap: the engine must shed the dead
+	// entries immediately rather than holding them to their fire times.
+	for i := 0; i < 70; i++ {
+		evs[i].Cancel()
+	}
+	if got := eng.Pending(); got != 30 {
+		t.Errorf("Pending() = %d, want 30", got)
+	}
+	if got := len(eng.events); got >= 70 {
+		t.Errorf("heap still holds %d entries after cancelling 70 of %d; compaction did not run", got, n)
+	}
+	// A cancel after compaction already discarded the event stays a no-op.
+	evs[0].Cancel()
+	if got := eng.Pending(); got != 30 {
+		t.Errorf("Pending() = %d after re-cancel, want 30", got)
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eng.Processed(); got != 30 {
+		t.Errorf("Processed() = %d, want 30 (cancelled events must not fire)", got)
+	}
+}
+
+func TestEngineCompactionPreservesOrder(t *testing.T) {
+	// Two engines run the same workload; one suffers a cancellation storm
+	// that forces compaction. The surviving events must fire in the same
+	// deterministic (time, seq) order on both.
+	run := func(storm bool) []int {
+		eng := NewEngine(7)
+		var order []int
+		for i := 0; i < 50; i++ {
+			i := i
+			eng.Schedule(time.Duration(50-i)*time.Millisecond, func() { order = append(order, i) })
+		}
+		var victims []*Event
+		for i := 0; i < 100; i++ {
+			victims = append(victims, eng.Schedule(time.Hour, func() {})) // fodder
+		}
+		if storm {
+			for _, ev := range victims {
+				ev.Cancel()
+			}
+		}
+		if err := eng.Run(); err != nil {
+			panic(err)
+		}
+		return order
+	}
+	a, b := run(true), run(false)
+	if len(a) != len(b) {
+		t.Fatalf("order lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("order diverges at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestEngineCancelAfterFireIsNoOp(t *testing.T) {
+	eng := NewEngine(1)
+	ev := eng.Schedule(time.Millisecond, func() {})
+	eng.Schedule(2*time.Millisecond, func() {})
+	if err := eng.RunUntil(time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	ev.Cancel() // already fired: must not decrement Pending below reality
+	if got := eng.Pending(); got != 1 {
+		t.Errorf("Pending() = %d, want 1", got)
+	}
+}

@@ -141,3 +141,18 @@ func TestTickerInvalidConfigPanics(t *testing.T) {
 		}()
 	}
 }
+
+func TestTickerStopReleasesPendingEvent(t *testing.T) {
+	eng := NewEngine(1)
+	tk := NewTicker(eng, 10*time.Millisecond, func() {})
+	tk.Start()
+	if got := eng.Pending(); got != 1 {
+		t.Fatalf("Pending() = %d after Start, want 1", got)
+	}
+	tk.Stop()
+	// Stop cancels the queued tick; Pending counts live events only, so
+	// the dead tick must not show up even before the engine discards it.
+	if got := eng.Pending(); got != 0 {
+		t.Errorf("Pending() = %d after Stop, want 0", got)
+	}
+}

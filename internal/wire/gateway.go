@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/units"
 )
@@ -17,11 +18,15 @@ type GatewayConfig struct {
 	// Capacity is C, the rate available to PELS traffic — normally the
 	// bandwidth of the link the gateway fronts.
 	Capacity units.BitRate
-	// MinLoss clamps the computed loss from below; 0 selects
-	// DefaultMinLoss.
+	// MinLoss clamps the computed loss from below; it must be negative
+	// (the negative range is the spare-capacity signal that lets sources
+	// grow). 0 selects DefaultMinLoss.
 	MinLoss float64
 	// Now overrides the clock for tests; nil means time.Now.
 	Now func() time.Time
+	// Obs, if non-nil, registers the gateway's epoch, loss, and stamp
+	// gauges under the "gateway." prefix.
+	Obs *obs.Registry
 }
 
 // DefaultMinLoss bounds p from below, mirroring aqm.DefaultMinLoss: with
@@ -62,13 +67,27 @@ func NewGateway(cfg GatewayConfig) *Gateway {
 	if cfg.Capacity <= 0 {
 		panic("wire: gateway capacity must be positive")
 	}
+	if cfg.MinLoss > 0 {
+		panic("wire: gateway MinLoss must be negative (it bounds the spare-capacity signal)")
+	}
 	if cfg.MinLoss == 0 {
 		cfg.MinLoss = DefaultMinLoss
 	}
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
-	return &Gateway{cfg: cfg, loss: cfg.MinLoss}
+	g := &Gateway{cfg: cfg, loss: cfg.MinLoss}
+	if cfg.Obs != nil {
+		cfg.Obs.GaugeFunc("gateway.epoch", func() float64 { return float64(g.Epoch()) })
+		cfg.Obs.GaugeFunc("gateway.loss", g.Loss)
+		cfg.Obs.GaugeFunc("gateway.stamped", func() float64 { return float64(g.Stamped()) })
+		cfg.Obs.GaugeFunc("gateway.ignored", func() float64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			return float64(g.ignored)
+		})
+	}
+	return g
 }
 
 // Mark implements Marker: PELS data datagrams are counted toward S and

@@ -172,3 +172,80 @@ func TestPacerJitterSelfCorrects(t *testing.T) {
 		t.Fatalf("throughput %v under 2ms oversleep, want ~1 Mbit/s", got)
 	}
 }
+
+// TestPacerTable exercises SetRate while the bucket is in debt and
+// backward clock jumps mid-Reserve as step tables: each step either
+// reserves bytes (checking the returned wait) or changes the rate at a
+// given instant.
+func TestPacerTable(t *testing.T) {
+	type step struct {
+		at      time.Duration // offset from t0
+		reserve int           // bytes to reserve; 0 means SetRate instead
+		rate    units.BitRate // new rate when reserve == 0
+		want    time.Duration // expected wait for reserve steps
+	}
+	cases := []struct {
+		name  string
+		rate  units.BitRate
+		burst int
+		steps []step
+	}{
+		{
+			// SetRate during token debt settles the elapsed time at the
+			// OLD rate, then prices the remaining debt at the NEW rate:
+			// 2000 B at 1000 B/s drains the 1000 B bucket into −1000 B.
+			// 500 ms later the old rate has repaid 500 B (debt −500), and
+			// doubling the rate prices the next shortfall at 2000 B/s.
+			name: "setrate while in debt settles then reprices",
+			rate: 8000, burst: 1000,
+			steps: []step{
+				{at: 0, reserve: 2000, want: time.Second},
+				{at: 500 * time.Millisecond, rate: 16000},
+				{at: 500 * time.Millisecond, reserve: 500, want: 500 * time.Millisecond},
+			},
+		},
+		{
+			// A backward clock jump between Reserves contributes no
+			// credit: the pacer re-anchors and the debt stands.
+			name: "backward jump during reserve adds no credit",
+			rate: 8000, burst: 1000,
+			steps: []step{
+				{at: 0, reserve: 2000, want: time.Second},
+				{at: -time.Second, reserve: 1000, want: 2 * time.Second},
+				// Re-anchored at t0−1s: 1 s later half the 2000 B debt
+				// has been repaid.
+				{at: 0, reserve: 0, rate: 8000},
+				{at: 0, reserve: 1000, want: 2 * time.Second},
+			},
+		},
+		{
+			// A backward jump handed to SetRate also settles to zero
+			// elapsed time: no retroactive credit, no panic.
+			name: "backward jump during setrate",
+			rate: 8000, burst: 1000,
+			steps: []step{
+				{at: 0, reserve: 1500, want: 500 * time.Millisecond},
+				{at: -time.Hour, rate: 80000},
+				{at: -time.Hour, reserve: 0, rate: 80000},
+				// Total debt of 1000 B priced at 10000 B/s → 100 ms.
+				{at: -time.Hour, reserve: 500, want: 100 * time.Millisecond},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := NewPacer(tc.rate, tc.burst)
+			for i, st := range tc.steps {
+				now := t0.Add(st.at)
+				if st.reserve == 0 {
+					p.SetRate(st.rate, now)
+					continue
+				}
+				wait := p.Reserve(st.reserve, now)
+				if diff := wait - st.want; diff < -time.Microsecond || diff > time.Microsecond {
+					t.Fatalf("step %d: wait %v, want %v", i, wait, st.want)
+				}
+			}
+		})
+	}
+}

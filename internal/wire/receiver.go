@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/units"
 )
@@ -77,6 +79,11 @@ type ReceiverConfig struct {
 	Peer net.Addr
 	// Flow, when non-zero, drops data datagrams of other flows.
 	Flow uint32
+	// Obs, if non-nil, registers the receiver's counters and per-color
+	// delivery gauges under the "receiver." prefix.
+	Obs *obs.Registry
+	// Now overrides the clock for tests; nil means time.Now.
+	Now func() time.Time
 }
 
 // colorTrack is the per-color sequence tracker.
@@ -105,17 +112,54 @@ type Receiver struct {
 	maxFrame  uint32
 	anyFrame  bool
 	peer      net.Addr
+
+	obsDatagrams *obs.Counter
+	obsBytes     *obs.Counter
+	obsEpochs    *obs.Counter
+	obsFeedback  *obs.Counter
+	obsErrors    *obs.Counter
 }
 
 // NewReceiver builds a receiver on conn. The conn is borrowed, not
 // owned.
 func NewReceiver(conn net.PacketConn, cfg ReceiverConfig) *Receiver {
-	return &Receiver{
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	r := &Receiver{
 		cfg:    cfg,
 		conn:   conn,
 		colors: map[packet.Color]*colorTrack{},
 		peer:   cfg.Peer,
 	}
+	if cfg.Obs != nil {
+		r.obsDatagrams = cfg.Obs.Counter("receiver.datagrams")
+		r.obsBytes = cfg.Obs.Counter("receiver.bytes")
+		r.obsEpochs = cfg.Obs.Counter("receiver.epochs")
+		r.obsFeedback = cfg.Obs.Counter("receiver.feedback_sent")
+		r.obsErrors = cfg.Obs.Counter("receiver.decode_errors")
+		for _, c := range []packet.Color{packet.Green, packet.Yellow, packet.Red} {
+			c := c
+			name := "receiver." + strings.ToLower(c.String())
+			cfg.Obs.GaugeFunc(name+".received", func() float64 {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				if t := r.colors[c]; t != nil {
+					return float64(t.count.Received)
+				}
+				return 0
+			})
+			cfg.Obs.GaugeFunc(name+".lost", func() float64 {
+				r.mu.Lock()
+				defer r.mu.Unlock()
+				if t := r.colors[c]; t != nil {
+					return float64(t.count.Lost)
+				}
+				return 0
+			})
+		}
+	}
+	return r
 }
 
 // Run reads the stream until ctx is canceled. Malformed datagrams are
@@ -127,18 +171,23 @@ func (r *Receiver) Run(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		_ = r.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		_ = r.conn.SetReadDeadline(r.cfg.Now().Add(50 * time.Millisecond))
 		n, from, err := r.conn.ReadFrom(buf)
 		switch {
 		case err == nil:
 		case errors.Is(err, os.ErrDeadlineExceeded):
 			continue
 		case errors.Is(err, net.ErrClosed):
-			return ctx.Err()
+			// Expected only during shutdown; with a live context the
+			// closed socket is a failure the caller must see.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return fmt.Errorf("wire: receive: %w", err)
 		default:
 			return fmt.Errorf("wire: receive: %w", err)
 		}
-		r.Handle(buf[:n], from, time.Now())
+		r.Handle(buf[:n], from, r.cfg.Now())
 	}
 }
 
@@ -151,6 +200,9 @@ func (r *Receiver) Handle(b []byte, from net.Addr, now time.Time) {
 		r.mu.Lock()
 		if err != nil {
 			r.stats.DecodeErrors++
+			if r.obsErrors != nil {
+				r.obsErrors.Inc()
+			}
 		}
 		r.mu.Unlock()
 		return
@@ -169,6 +221,10 @@ func (r *Receiver) Handle(b []byte, from net.Addr, now time.Time) {
 	r.stats.LastAt = now
 	r.stats.Datagrams++
 	r.stats.Bytes += uint64(len(b))
+	if r.obsDatagrams != nil {
+		r.obsDatagrams.Inc()
+		r.obsBytes.Add(int64(len(b)))
+	}
 	if !r.anyFrame || h.Frame > r.maxFrame {
 		r.maxFrame = h.Frame
 		r.anyFrame = true
@@ -220,6 +276,10 @@ func (r *Receiver) Handle(b []byte, from net.Addr, now time.Time) {
 			Feedback:  h.Feedback,
 		}
 		r.stats.FeedbackSent++
+		if r.obsEpochs != nil {
+			r.obsEpochs.Inc()
+			r.obsFeedback.Inc()
+		}
 	}
 	peer := r.peer
 	r.mu.Unlock()

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/cc"
 	"repro/internal/fgs"
+	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/units"
 )
@@ -44,6 +45,12 @@ type SenderConfig struct {
 	// MaxFrames stops the sender after that many frames; 0 streams until
 	// the context is canceled.
 	MaxFrames int
+	// Obs, if non-nil, registers the sender's counters and control series
+	// under the "sender." prefix. Series are timed as wall-clock offsets
+	// from the sender's construction.
+	Obs *obs.Registry
+	// Now overrides the clock for tests; nil means time.Now.
+	Now func() time.Time
 }
 
 // WithDefaults fills zero-valued fields.
@@ -68,6 +75,9 @@ func (c SenderConfig) WithDefaults() SenderConfig {
 	}
 	if c.BurstBytes <= 0 {
 		c.BurstBytes = 8 * c.Frame.PacketSize
+	}
+	if c.Now == nil {
+		c.Now = time.Now
 	}
 	return c
 }
@@ -116,6 +126,13 @@ type Sender struct {
 	pacer *Pacer
 	seq   map[packet.Color]uint64
 	stats SenderStats
+
+	start        time.Time
+	obsDatagrams *obs.Counter
+	obsBytes     *obs.Counter
+	obsFeedback  *obs.Counter
+	obsRate      *obs.Series
+	obsGamma     *obs.Series
 }
 
 // NewSender builds a session streaming to peer over conn. The conn is
@@ -137,7 +154,7 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg SenderConfig) (*Sender, e
 	if err != nil {
 		return nil, err
 	}
-	return &Sender{
+	s := &Sender{
 		cfg:   cfg,
 		conn:  conn,
 		peer:  peer,
@@ -146,7 +163,16 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg SenderConfig) (*Sender, e
 		pk:    pk,
 		pacer: NewPacer(ctrl.Rate(), cfg.BurstBytes),
 		seq:   map[packet.Color]uint64{},
-	}, nil
+		start: cfg.Now(),
+	}
+	if cfg.Obs != nil {
+		s.obsDatagrams = cfg.Obs.Counter("sender.datagrams")
+		s.obsBytes = cfg.Obs.Counter("sender.bytes")
+		s.obsFeedback = cfg.Obs.Counter("sender.feedback_accepted")
+		s.obsRate = cfg.Obs.Series("sender.rate_kbps")
+		s.obsGamma = cfg.Obs.Series("sender.gamma")
+	}
+	return s, nil
 }
 
 // Run is the send loop: it blocks until MaxFrames frames have been sent
@@ -178,14 +204,14 @@ func (s *Sender) Run(ctx context.Context) error {
 				Frame:     uint32(frame),
 				Index:     uint16(idx),
 				Seq:       s.nextSeq(color),
-				Timestamp: time.Now().UnixNano(),
+				Timestamp: s.cfg.Now().UnixNano(),
 			}
 			var err error
 			buf, err = AppendDatagram(buf[:0], h, payload)
 			if err != nil {
 				return err
 			}
-			if wait := s.pacer.Reserve(len(buf), time.Now()); wait > 0 {
+			if wait := s.pacer.Reserve(len(buf), s.cfg.Now()); wait > 0 {
 				if err := sleepCtx(ctx, timer, wait); err != nil {
 					return err
 				}
@@ -200,6 +226,10 @@ func (s *Sender) Run(ctx context.Context) error {
 			s.stats.Datagrams++
 			s.stats.Bytes += uint64(len(buf))
 			s.mu.Unlock()
+			if s.obsDatagrams != nil {
+				s.obsDatagrams.Inc()
+				s.obsBytes.Add(int64(len(buf)))
+			}
 		}
 		s.mu.Lock()
 		s.stats.Frames = frame + 1
@@ -240,7 +270,14 @@ func (s *Sender) HandleFeedback(fb packet.Feedback) bool {
 	}
 	s.gamma.Update(fb.Loss)
 	s.stats.FeedbackAccepted++
-	s.pacer.SetRate(s.ctrl.Rate(), time.Now())
+	now := s.cfg.Now()
+	s.pacer.SetRate(s.ctrl.Rate(), now)
+	if s.obsFeedback != nil {
+		s.obsFeedback.Inc()
+		at := now.Sub(s.start)
+		s.obsRate.Add(at, s.ctrl.Rate().KbpsValue())
+		s.obsGamma.Add(at, s.gamma.Value())
+	}
 	return true
 }
 
@@ -254,14 +291,20 @@ func (s *Sender) ServeFeedback(ctx context.Context) error {
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
-		_ = s.conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		_ = s.conn.SetReadDeadline(s.cfg.Now().Add(50 * time.Millisecond))
 		n, _, err := s.conn.ReadFrom(buf)
 		switch {
 		case err == nil:
 		case errors.Is(err, os.ErrDeadlineExceeded):
 			continue
 		case errors.Is(err, net.ErrClosed):
-			return ctx.Err()
+			// A closed socket during shutdown is the expected exit; a
+			// closed socket while the context is still live is a real
+			// failure and must not be masked as a clean return.
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return fmt.Errorf("wire: feedback read: %w", err)
 		default:
 			return fmt.Errorf("wire: feedback read: %w", err)
 		}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TestSenderServeFeedbackReportsClosedConn: an unexpected socket closure
+// while the context is still live must surface as an error wrapping
+// net.ErrClosed — not the nil ctx.Err() that used to mask it.
+func TestSenderServeFeedbackReportsClosedConn(t *testing.T) {
+	emu := NewEmulator(EmulatorConfig{})
+	defer emu.Close()
+	s, err := NewSender(emu.A(), nil, SenderConfig{Flow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- s.ServeFeedback(ctx) }()
+
+	time.Sleep(10 * time.Millisecond)
+	_ = emu.A().Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("ServeFeedback on closed conn with live ctx: got %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ServeFeedback did not return after conn close")
+	}
+}
+
+// TestSenderServeFeedbackCleanShutdown: closing the conn as part of a
+// canceled context is the expected exit and returns ctx.Err().
+func TestSenderServeFeedbackCleanShutdown(t *testing.T) {
+	emu := NewEmulator(EmulatorConfig{})
+	defer emu.Close()
+	s, err := NewSender(emu.A(), nil, SenderConfig{Flow: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- s.ServeFeedback(ctx) }()
+
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	_ = emu.A().Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("ServeFeedback after cancel: got %v, want context.Canceled", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("ServeFeedback did not return after cancel")
+	}
+}
+
+// TestReceiverRunReportsClosedConn mirrors the sender-side regression:
+// the receiver's read loop must not turn an unexpected closure into a
+// clean nil return.
+func TestReceiverRunReportsClosedConn(t *testing.T) {
+	emu := NewEmulator(EmulatorConfig{})
+	defer emu.Close()
+	r := NewReceiver(emu.B(), ReceiverConfig{Flow: 1})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- r.Run(ctx) }()
+
+	time.Sleep(10 * time.Millisecond)
+	_ = emu.B().Close()
+	select {
+	case err := <-done:
+		if !errors.Is(err, net.ErrClosed) {
+			t.Fatalf("Run on closed conn with live ctx: got %v, want net.ErrClosed", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Run did not return after conn close")
+	}
+}
+
+// TestGatewayRejectsPositiveMinLoss: a positive clamp would turn the
+// spare-capacity signal into permanent congestion; construction must
+// refuse it loudly, mirroring aqm.NewFeedback.
+func TestGatewayRejectsPositiveMinLoss(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewGateway with positive MinLoss did not panic")
+		}
+	}()
+	NewGateway(GatewayConfig{RouterID: 1, Interval: time.Millisecond, Capacity: units.Mbps, MinLoss: 0.5})
+}
