@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test test-short race fmt-check ci bench repro cover fuzz smoke obs-demo clean
+.PHONY: all build vet lint test test-short race fmt-check ci bench repro cover fuzz chaos smoke obs-demo clean
 
 all: build vet lint test
 
@@ -47,6 +47,13 @@ fuzz:
 	go test -fuzz=FuzzDecoder -fuzztime=10s ./internal/fgs/
 	go test -run '^$$' -fuzz '^FuzzDecodeDatagram$$' -fuzztime=10s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzHeaderRoundTrip$$' -fuzztime=10s ./internal/wire/
+	go test -run '^$$' -fuzz '^FuzzCorruption$$' -fuzztime=10s ./internal/wire/
+
+# Chaos lane: deterministic fault-schedule experiments plus a live
+# stream through a flapping emulated link (the CI chaos-smoke job).
+chaos:
+	go test -race -short -run 'TestChaos' ./internal/experiments/
+	go run ./cmd/pelsbench -only chaos-testbed,chaos-wire
 
 # Live UDP loopback: stream pelsd -> pelsget on 127.0.0.1 and assert the
 # base layer survived untouched (the CI wire-smoke job).

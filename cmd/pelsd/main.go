@@ -14,6 +14,13 @@
 //	      [-packet 100] [-frame-packets 80] [-green 8]
 //	      [-frame-interval 10ms] [-alpha 150kbps] [-beta 0.5]
 //	      [-initial-rate 500kbps] [-flow 1] [-debug 127.0.0.1:9100]
+//	      [-chaos] [-chaos-seed 1] [-stale-timeout 0]
+//
+// With -chaos, the bottleneck runs the canned fault plan
+// (fault.DefaultChaosPlan): burst loss, a link flap, feedback
+// starvation, corruption, duplication, and reordering, all seeded by
+// -chaos-seed. With -stale-timeout, the sender's watchdog decays the
+// rate multiplicatively whenever feedback goes quiet for that horizon.
 //
 // With -debug ADDR, pelsd serves live observability over HTTP while
 // streaming: /debug/vars is an expvar-style JSON snapshot of the
@@ -33,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/cc"
+	"repro/internal/fault"
 	"repro/internal/fgs"
 	"repro/internal/obs"
 	"repro/internal/units"
@@ -63,6 +71,10 @@ func run() error {
 	initialRate := flag.String("initial-rate", "500kbps", "MKC starting rate")
 	flow := flag.Uint("flow", 1, "flow identifier")
 	debugAddr := flag.String("debug", "", "HTTP address serving /debug/vars, /debug/series and /debug/pprof/ (empty = off)")
+	chaos := flag.Bool("chaos", false, "inject the canned fault plan into the bottleneck (burst loss, corruption, link flaps)")
+	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault plan")
+	staleTimeout := flag.Duration("stale-timeout", 0,
+		"decay the sending rate when no feedback arrives for this long (0 = off)")
 	flag.Parse()
 
 	cap, err := units.ParseBitRate(*capacity)
@@ -99,12 +111,19 @@ func run() error {
 		Capacity: cap,
 		Obs:      reg,
 	})
-	shaped := wire.NewShapedConn(conn, wire.LinkConfig{
+	linkCfg := wire.LinkConfig{
 		Bandwidth:  cap,
 		Delay:      *linkDelay,
 		QueueBytes: *queue,
 		Marker:     gw,
-	})
+	}
+	if *chaos {
+		inj := fault.NewInjector(fault.DefaultChaosPlan(*chaosSeed))
+		inj.Instrument(reg, "fault.")
+		linkCfg.Faults = inj
+		fmt.Fprintf(os.Stderr, "pelsd: chaos fault plan armed (seed %d)\n", *chaosSeed)
+	}
+	shaped := wire.NewShapedConn(conn, linkCfg)
 	defer shaped.Close() // drains the bottleneck, then closes conn
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -138,8 +157,9 @@ func run() error {
 			MinRate:     64 * units.Kbps,
 			DedupEpochs: true,
 		},
-		MaxFrames: *frames,
-		Obs:       reg,
+		MaxFrames:    *frames,
+		Obs:          reg,
+		StaleTimeout: *staleTimeout,
 	})
 	if err != nil {
 		return err

@@ -12,6 +12,11 @@
 //
 //	pelsget [-addr 127.0.0.1:9000] [-duration 10s] [-idle 1s]
 //	        [-flow 1] [-max-green-loss -1]
+//	        [-probe-idle 500ms] [-probe-max 4s]
+//
+// When data stalls for -probe-idle, the receiver re-echoes the last
+// router label with exponential backoff (capped at -probe-max) so a
+// sender cut off by a transient outage regains feedback quickly.
 package main
 
 import (
@@ -43,6 +48,10 @@ func run() error {
 	flow := flag.Uint("flow", 1, "flow identifier")
 	maxGreenLoss := flag.Float64("max-green-loss", -1,
 		"fail (exit 1) if green loss rate exceeds this; negative disables the check")
+	probeIdle := flag.Duration("probe-idle", 500*time.Millisecond,
+		"re-echo the last feedback label after this long without data (0 = off)")
+	probeMax := flag.Duration("probe-max", 4*time.Second,
+		"cap for the probe backoff interval")
 	flag.Parse()
 
 	raddr, err := net.ResolveUDPAddr("udp", *addr)
@@ -63,7 +72,12 @@ func run() error {
 		defer cancel()
 	}
 
-	recv := wire.NewReceiver(conn, wire.ReceiverConfig{Peer: raddr, Flow: uint32(*flow)})
+	recv := wire.NewReceiver(conn, wire.ReceiverConfig{
+		Peer:      raddr,
+		Flow:      uint32(*flow),
+		ProbeIdle: *probeIdle,
+		ProbeMax:  *probeMax,
+	})
 	recvDone := make(chan error, 1)
 	go func() { recvDone <- recv.Run(ctx) }()
 

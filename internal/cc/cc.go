@@ -33,24 +33,42 @@ func clampRate(r, min, max units.BitRate) units.BitRate {
 }
 
 // freshness tracks feedback epoch deduplication shared by controllers
-// (paper §5.2): a source reacts to each router epoch exactly once, and
-// resets when the bottleneck (router ID) shifts.
+// (paper §5.2): a source reacts to each router epoch exactly once. The
+// last applied epoch is remembered per router ID, not only for the
+// current bottleneck: when the bottleneck shifts between routers (or a
+// fault plan flaps the route), a reordered or duplicated stale label
+// from the previous router must not be laundered back into the
+// controller by the intervening router change — it would rewind the MKC
+// state to a congestion signal that is no longer true.
 type freshness struct {
+	// routerID/seen identify the router of the most recently applied
+	// label (the current bottleneck).
 	routerID int
-	epoch    uint64
 	seen     bool
+	// applied maps router ID → last applied epoch from that router.
+	applied map[int]uint64
 }
+
+// epochResetSlack bounds how far back an epoch may jump before it is
+// read as a router restart (epoch counter reset to zero) rather than a
+// stale duplicate. Reordering keeps genuine duplicates within a handful
+// of epochs of the newest one; a restarted router reappears thousands of
+// epochs back.
+const epochResetSlack = 64
 
 // accept reports whether fb is fresh and records it if so.
 func (f *freshness) accept(fb packet.Feedback) bool {
 	if !fb.Valid {
 		return false
 	}
-	if f.seen && fb.RouterID == f.routerID && fb.Epoch <= f.epoch {
-		return false
+	if f.applied == nil {
+		f.applied = make(map[int]uint64)
 	}
+	if last, ok := f.applied[fb.RouterID]; ok && fb.Epoch <= last && last-fb.Epoch <= epochResetSlack {
+		return false // stale duplicate of an already-applied epoch
+	}
+	f.applied[fb.RouterID] = fb.Epoch
 	f.routerID = fb.RouterID
-	f.epoch = fb.Epoch
 	f.seen = true
 	return true
 }

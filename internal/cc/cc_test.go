@@ -79,6 +79,58 @@ func TestMKCBottleneckShiftResetsEpochs(t *testing.T) {
 	}
 }
 
+// TestMKCStaleDuplicateAfterRouteChange is the regression test for the
+// reorder-injector failure mode: after the bottleneck shifts from router
+// 1 to router 2, a reordered stale duplicate of router 1's old label
+// must be rejected — the pre-fix rule only deduplicated against the
+// *current* router, so the duplicate both rewound the rate state and
+// reinstated router 1 as the bottleneck, flip-flopping the controller.
+func TestMKCStaleDuplicateAfterRouteChange(t *testing.T) {
+	m := NewMKC(DefaultMKCConfig())
+	if !m.OnFeedback(fb(1, 100, 0.2)) {
+		t.Fatal("initial feedback rejected")
+	}
+	if !m.OnFeedback(fb(2, 3, 0.1)) {
+		t.Fatal("route change feedback rejected")
+	}
+	r := m.Rate()
+	// Stale duplicates of either router's already-applied epochs.
+	for _, stale := range []packet.Feedback{
+		fb(1, 100, 0.9), // exact duplicate from the old router
+		fb(1, 99, 0.9),  // older epoch from the old router
+		fb(2, 3, 0.9),   // exact duplicate from the new router
+		fb(2, 2, 0.9),   // older epoch from the new router
+	} {
+		if m.OnFeedback(stale) {
+			t.Errorf("stale duplicate %+v accepted after route change", stale)
+		}
+	}
+	if m.Rate() != r {
+		t.Errorf("rate changed on stale duplicates: %v -> %v", r, m.Rate())
+	}
+	// Flapping back to router 1 with genuinely new epochs still works.
+	if !m.OnFeedback(fb(1, 101, 0.1)) {
+		t.Error("fresh feedback from the old router rejected after flap back")
+	}
+}
+
+// TestMKCRouterRestartAccepted: a backward epoch jump far beyond the
+// reorder horizon means the router restarted and reset its epoch counter;
+// the source must re-adopt it rather than deadlock on "stale" labels.
+func TestMKCRouterRestartAccepted(t *testing.T) {
+	m := NewMKC(DefaultMKCConfig())
+	m.OnFeedback(fb(1, 100000, 0.1))
+	if m.OnFeedback(fb(1, 100000-64, 0.1)) {
+		t.Error("epoch within the reorder slack accepted")
+	}
+	if !m.OnFeedback(fb(1, 1, 0.1)) {
+		t.Error("post-restart epoch 1 rejected — sender would deadlock")
+	}
+	if !m.OnFeedback(fb(1, 2, 0.1)) {
+		t.Error("epoch 2 after restart re-adoption rejected")
+	}
+}
+
 func TestMKCDedupDisabled(t *testing.T) {
 	cfg := DefaultMKCConfig()
 	cfg.DedupEpochs = false

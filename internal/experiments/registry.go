@@ -300,6 +300,42 @@ func Registry() []Entry {
 			},
 		},
 		{
+			Name:  "chaos-testbed",
+			Title: "Chaos testbed — fault schedule plus gateway swap, deterministic (§ robustness)",
+			Run: func(seed int64) (Result, error) {
+				cfg := DefaultChaosTestbedConfig()
+				cfg.Seed = seed
+				res, err := ChaosTestbed(cfg)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Output:  FormatChaosTestbed(res),
+					Events:  res.Events,
+					Metrics: res.Metrics(),
+					Obs:     res.Obs,
+				}, nil
+			},
+		},
+		{
+			Name:  "chaos-wire",
+			Title: "Chaos wire — live stack under faults with a mid-stream gateway swap",
+			Run: func(seed int64) (Result, error) {
+				cfg := DefaultChaosWireConfig()
+				cfg.Seed = seed
+				res, err := ChaosWire(cfg)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Output:  FormatChaosWire(res),
+					Events:  res.Datagrams(),
+					Metrics: res.Metrics(),
+					Obs:     res.Obs,
+				}, nil
+			},
+		},
+		{
 			Name:  "rdscaling",
 			Title: "R-D-aware rate scaling — the §6.5 smoothing extension",
 			Run: func(seed int64) (Result, error) {

@@ -264,3 +264,63 @@ func TestPlanBytes(t *testing.T) {
 		t.Errorf("Bytes = %d, want %d", got, 81*500)
 	}
 }
+
+func TestGammaFullRedLoss(t *testing.T) {
+	// Extreme: 100% red loss. p/p_thr = 1.33 exceeds the clamp, so γ
+	// rails at Max and stays railed while total loss persists — every
+	// frame is fully protected instead of oscillating.
+	g := MustNewGamma(DefaultGammaConfig())
+	for i := 0; i < 50; i++ {
+		g.Update(1)
+	}
+	if g.Value() != 1 {
+		t.Errorf("gamma = %v after sustained total loss, want 1", g.Value())
+	}
+	if got := g.Update(1); got != 1 {
+		t.Errorf("gamma left the rail under continued total loss: %v", got)
+	}
+}
+
+func TestGammaZeroRedTrafficKeepsProbing(t *testing.T) {
+	// Extreme: no red traffic at all, so the router measures p = 0 for
+	// the probe layer indefinitely. γ must decay to its floor but never
+	// to zero — the residual red trickle is what lets the flow rediscover
+	// capacity when the bottleneck clears.
+	g := MustNewGamma(DefaultGammaConfig())
+	for i := 0; i < 200; i++ {
+		g.Update(0)
+	}
+	if got := g.Value(); got != 0.05 {
+		t.Errorf("gamma = %v after 200 zero-loss updates, want floor 0.05", got)
+	}
+	if g.Value() <= 0 {
+		t.Error("gamma reached zero: the flow stopped probing")
+	}
+}
+
+func TestGammaResetRestoresInitial(t *testing.T) {
+	// A RouterID change mid-adaptation discards the integrated loss
+	// history: Reset returns γ to Initial while preserving the step
+	// count, and the controller re-adapts cleanly afterwards.
+	g := MustNewGamma(DefaultGammaConfig())
+	for i := 0; i < 20; i++ {
+		g.Update(0.9)
+	}
+	if g.Value() == 0.5 {
+		t.Fatal("precondition: gamma did not move from Initial")
+	}
+	steps := g.Steps()
+	g.Reset()
+	if g.Value() != 0.5 {
+		t.Errorf("Reset: gamma = %v, want Initial 0.5", g.Value())
+	}
+	if g.Steps() != steps {
+		t.Errorf("Reset changed step count: %d != %d", g.Steps(), steps)
+	}
+	for i := 0; i < 100; i++ {
+		g.Update(0.15)
+	}
+	if want := 0.15 / 0.75; math.Abs(g.Value()-want) > 1e-6 {
+		t.Errorf("post-reset reconvergence: gamma = %v, want %v", g.Value(), want)
+	}
+}

@@ -93,6 +93,15 @@ func (g *Gamma) Update(p float64) float64 {
 // Value returns the current γ.
 func (g *Gamma) Value() float64 { return g.value }
 
+// Reset returns γ to its initial value (step count preserved). Senders
+// call it on a feedback discontinuity — a RouterID change after a route
+// change or gateway swap — because the loss history γ integrated belongs
+// to a queue the flow no longer traverses; acting on cross-router deltas
+// would start the new path with a red fraction tuned for the old one.
+func (g *Gamma) Reset() {
+	g.value = g.clamp(g.cfg.Initial)
+}
+
 // Steps returns the number of controller updates applied.
 func (g *Gamma) Steps() int64 { return g.steps }
 

@@ -25,6 +25,7 @@ var deterministicPkgs = map[string]bool{
 	"video":        true,
 	"stats":        true,
 	"obs":          true,
+	"fault":        true,
 }
 
 // walltimeBanned lists the package time functions that read or wait on the
@@ -51,7 +52,7 @@ var WallTime = &Analyzer{
 	Name: "walltime",
 	Doc: "forbid time.Now/Sleep/After/Since and timer constructors in the " +
 		"deterministic simulation packages (sim, netsim, queue, aqm, cc, pels, " +
-		"fgs, crosstraffic, tcp, video, stats, obs); only internal/wire, " +
+		"fgs, crosstraffic, tcp, video, stats, obs, fault); only internal/wire, " +
 		"internal/runner, and cmd/ may touch the wall clock",
 	Run: runWallTime,
 }

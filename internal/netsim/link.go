@@ -7,6 +7,7 @@ package netsim
 import (
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/packet"
 	"repro/internal/queue"
@@ -35,10 +36,18 @@ type Link struct {
 
 	transmittedPkts  int64
 	transmittedBytes int64
+	faultDrops       int64
 
-	obsTx      *obs.Counter
-	obsTxBytes *obs.Counter
-	obsDrops   *obs.Counter
+	obsTx         *obs.Counter
+	obsTxBytes    *obs.Counter
+	obsDrops      *obs.Counter
+	obsFaultDrops *obs.Counter
+
+	// Faults, if non-nil, applies a scheduled fault plan to every packet
+	// offered to the link, after Proc (the router stamps before the wire
+	// damages) and before queueing. Fault time is simulation time, so a
+	// plan replays identically for a fixed seed.
+	Faults *fault.Injector
 
 	// Proc, if non-nil, processes every packet offered to this link
 	// before it is enqueued (drops included — the PELS arrival counter S
@@ -75,6 +84,51 @@ func (l *Link) Send(p *packet.Packet) {
 	if l.Proc != nil {
 		l.Proc.Process(p)
 	}
+	if l.Faults != nil {
+		d := l.Faults.Filter(l.eng.Now(), fault.Packet{Size: p.Size, Class: classify(p)})
+		if d.Drop || d.Corrupt {
+			// The simulator has no byte-level codec, so corruption is
+			// modeled as its end-to-end outcome on the live stack: the
+			// checksum rejects the packet at decode and it is lost.
+			l.faultDrops++
+			if l.obsFaultDrops != nil {
+				l.obsFaultDrops.Inc()
+			}
+			return
+		}
+		if d.StripFeedback {
+			p.Feedback.Valid = false
+			p.AckedFeedback.Valid = false
+		}
+		if d.Duplicate {
+			cp := *p
+			l.admit(&cp)
+		}
+		if d.ExtraDelay > 0 {
+			extra := d.ExtraDelay
+			l.eng.Schedule(extra, func() { l.admit(p) })
+			return
+		}
+	}
+	l.admit(p)
+}
+
+// classify maps a simulated packet onto the traffic classes the fault
+// injector distinguishes: ACKs carry feedback on the reverse path, PELS
+// colors are stream data, TCP and best-effort cross traffic is other.
+func classify(p *packet.Packet) fault.Class {
+	switch {
+	case p.Color == packet.ACK:
+		return fault.ClassFeedback
+	case p.Color.IsPELS():
+		return fault.ClassData
+	default:
+		return fault.ClassOther
+	}
+}
+
+// admit enqueues a packet that survived the fault filter.
+func (l *Link) admit(p *packet.Packet) {
 	p.Enqueued = l.eng.Now()
 	if !l.disc.Enqueue(p) {
 		if l.obsDrops != nil {
@@ -118,12 +172,18 @@ func (l *Link) transmitNext() {
 }
 
 // Instrument registers the link's transmit and drop totals in reg as
-// counters prefix+"tx_packets", prefix+"tx_bytes", and prefix+"drops".
+// counters prefix+"tx_packets", prefix+"tx_bytes", prefix+"drops", and
+// prefix+"fault_drops".
 func (l *Link) Instrument(reg *obs.Registry, prefix string) {
 	l.obsTx = reg.Counter(prefix + "tx_packets")
 	l.obsTxBytes = reg.Counter(prefix + "tx_bytes")
 	l.obsDrops = reg.Counter(prefix + "drops")
+	l.obsFaultDrops = reg.Counter(prefix + "fault_drops")
 }
+
+// FaultDrops returns the number of packets discarded (or corrupted beyond
+// decode) by the fault injector.
+func (l *Link) FaultDrops() int64 { return l.faultDrops }
 
 // Rate returns the link's capacity.
 func (l *Link) Rate() units.BitRate { return l.rate }

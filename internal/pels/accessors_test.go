@@ -154,3 +154,35 @@ func TestSourceIgnoresForeignPackets(t *testing.T) {
 		t.Error("source reacted to an ACK without feedback")
 	}
 }
+
+func TestSourceGammaResetOnRouterChange(t *testing.T) {
+	r := newRig(t, Config{Flow: 1}, 2*units.Mbps)
+	initial := r.src.Gamma()
+	ack := func(router int, epoch uint64, loss float64) {
+		p := r.nw.NewPacket(1, 0, 40, packet.ACK)
+		p.AckedFeedback = packet.Feedback{RouterID: router, Epoch: epoch, Loss: loss, Valid: true}
+		r.src.HandlePacket(p)
+	}
+
+	// Adapt γ upward against sustained loss from router 1.
+	for e := uint64(1); e <= 10; e++ {
+		ack(1, e, 0.7)
+	}
+	if r.src.Gamma() <= initial {
+		t.Fatal("precondition: gamma did not adapt upward")
+	}
+
+	// Route change: feedback now comes from router 2 with a reset epoch
+	// counter. γ restarts from Initial — the integrated loss history
+	// belongs to a queue the flow no longer traverses.
+	ack(2, 1, 0.7)
+	if got := r.src.Gamma(); got != initial {
+		t.Fatalf("gamma = %v after router change, want Initial %v", got, initial)
+	}
+
+	// And adapts normally against the new router afterwards.
+	ack(2, 2, 0.7)
+	if r.src.Gamma() <= initial {
+		t.Fatal("gamma frozen after reset")
+	}
+}

@@ -38,6 +38,11 @@ type Source struct {
 
 	pktsSent  int64
 	bytesSent int64
+
+	// Feedback-discontinuity tracking: lastRouter is the router of the
+	// most recently applied label; a change resets γ (see HandlePacket).
+	lastRouter int
+	haveRouter bool
 }
 
 var _ netsim.App = (*Source)(nil)
@@ -177,11 +182,23 @@ func (s *Source) HandlePacket(p *packet.Packet) {
 		s.cfg.RateSeries.Add(now, s.ctrl.Rate().KbpsValue())
 	}
 	if s.cfg.Mode == ModePELS {
-		g := s.gamma.Update(p.AckedFeedback.Loss)
+		var g float64
+		if s.haveRouter && p.AckedFeedback.RouterID != s.lastRouter {
+			// Feedback discontinuity (route change or gateway swap): the
+			// loss history γ integrated belongs to a queue the flow no
+			// longer traverses. Restart the red fraction instead of
+			// stepping it with a cross-router delta.
+			s.gamma.Reset()
+			g = s.gamma.Value()
+		} else {
+			g = s.gamma.Update(p.AckedFeedback.Loss)
+		}
 		if s.cfg.GammaSeries != nil {
 			s.cfg.GammaSeries.Add(now, g)
 		}
 	}
+	s.lastRouter = p.AckedFeedback.RouterID
+	s.haveRouter = true
 }
 
 // Rate returns the controller's current sending rate.

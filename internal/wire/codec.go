@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"repro/internal/packet"
@@ -43,7 +44,7 @@ const (
 	// VersionV1 is the only wire version this codec speaks.
 	VersionV1 = 1
 	// HeaderSize is the fixed encoded header length in bytes.
-	HeaderSize = 56
+	HeaderSize = 60
 	// MaxPayload bounds the payload so a datagram fits a conservative
 	// 1500-byte MTU with headroom for UDP/IP headers.
 	MaxPayload = 1400
@@ -68,6 +69,7 @@ const (
 	offRouterID  = 36 // int32
 	offEpoch     = 40 // uint64
 	offLoss      = 48 // float64 bits
+	offCRC       = 56 // uint32, CRC-32C over the datagram with this field zeroed
 )
 
 // flagFeedbackValid marks that the feedback label fields carry a real
@@ -86,7 +88,31 @@ var (
 	ErrOversized = errors.New("wire: payload exceeds MaxPayload")
 	ErrLength    = errors.New("wire: datagram length disagrees with header")
 	ErrLoss      = errors.New("wire: non-finite loss in feedback label")
+	ErrChecksum  = errors.New("wire: checksum mismatch")
 )
+
+// crcTable is the Castagnoli polynomial, chosen for its hardware support
+// and strictly better burst-error detection than IEEE CRC-32.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// crcOf computes the datagram checksum: CRC-32C over the entire datagram
+// with the checksum field itself taken as zero. Covering the payload too
+// means a corrupted datagram can never reach per-color sequence
+// accounting — corruption becomes loss, which the control loops already
+// handle.
+func crcOf(b []byte) uint32 {
+	var zero [4]byte
+	sum := crc32.Update(0, crcTable, b[:offCRC])
+	sum = crc32.Update(sum, crcTable, zero[:])
+	return crc32.Update(sum, crcTable, b[offCRC+4:])
+}
+
+// patchCRC recomputes and writes the checksum of an encoded datagram.
+// Every in-place mutation (StampFeedback, ClearFeedback) must call it
+// last.
+func patchCRC(b []byte) {
+	binary.BigEndian.PutUint32(b[offCRC:], crcOf(b))
+}
 
 // Header is the decoded PELS wire header. Seq is a per-color sequence
 // number for data datagrams (the receiver derives per-color loss from its
@@ -152,8 +178,11 @@ func AppendDatagram(dst []byte, h Header, payload []byte) ([]byte, error) {
 	binary.BigEndian.PutUint32(hdr[offRouterID:], uint32(int32(h.Feedback.RouterID)))
 	binary.BigEndian.PutUint64(hdr[offEpoch:], h.Feedback.Epoch)
 	binary.BigEndian.PutUint64(hdr[offLoss:], math.Float64bits(h.Feedback.Loss))
+	start := len(dst)
 	dst = append(dst, hdr[:]...)
-	return append(dst, payload...), nil
+	dst = append(dst, payload...)
+	patchCRC(dst[start:])
+	return dst, nil
 }
 
 // EncodeDatagram is AppendDatagram into a fresh buffer.
@@ -175,6 +204,20 @@ func DecodeDatagram(b []byte) (Header, []byte, error) {
 	if b[offVersion] != VersionV1 {
 		return h, nil, fmt.Errorf("%w: %d", ErrVersion, b[offVersion])
 	}
+	plen := int(binary.BigEndian.Uint16(b[offPayload:]))
+	if plen > MaxPayload {
+		return Header{}, nil, fmt.Errorf("%w: header claims %d bytes", ErrOversized, plen)
+	}
+	if len(b) != HeaderSize+plen {
+		return Header{}, nil, fmt.Errorf("%w: header claims %d payload bytes, datagram has %d",
+			ErrLength, plen, len(b)-HeaderSize)
+	}
+	// Checksum before any field is interpreted: a corrupted datagram must
+	// be indistinguishable from a lost one, or garbled sequence numbers
+	// would poison the receiver's per-color loss accounting.
+	if got, want := binary.BigEndian.Uint32(b[offCRC:]), crcOf(b); got != want {
+		return Header{}, nil, fmt.Errorf("%w: got %#08x, computed %#08x", ErrChecksum, got, want)
+	}
 	if b[offFlags]&^flagFeedbackValid != 0 {
 		return h, nil, fmt.Errorf("%w: %#02x", ErrFlags, b[offFlags])
 	}
@@ -191,18 +234,24 @@ func DecodeDatagram(b []byte) (Header, []byte, error) {
 		Loss:     math.Float64frombits(binary.BigEndian.Uint64(b[offLoss:])),
 		Valid:    b[offFlags]&flagFeedbackValid != 0,
 	}
-	plen := int(binary.BigEndian.Uint16(b[offPayload:]))
-	if plen > MaxPayload {
-		return Header{}, nil, fmt.Errorf("%w: header claims %d bytes", ErrOversized, plen)
-	}
-	if len(b) != HeaderSize+plen {
-		return Header{}, nil, fmt.Errorf("%w: header claims %d payload bytes, datagram has %d",
-			ErrLength, plen, len(b)-HeaderSize)
-	}
 	if err := h.validate(); err != nil {
 		return Header{}, nil, err
 	}
 	return h, b[HeaderSize:], nil
+}
+
+// PeekType returns the type of an encoded datagram without a full decode.
+// The second return is false when b is too short or not a v1 PELS
+// datagram. Like PeekColor it does not verify the checksum — it exists
+// for cheap classification on the forwarding path, where a corrupted
+// datagram is caught by the endpoint's full decode.
+func PeekType(b []byte) (Type, bool) {
+	if len(b) < HeaderSize ||
+		binary.BigEndian.Uint32(b[offMagic:]) != Magic ||
+		b[offVersion] != VersionV1 {
+		return 0, false
+	}
+	return Type(b[offType]), true
 }
 
 // PeekColor returns the color of an encoded datagram without a full
@@ -238,6 +287,12 @@ func StampFeedback(b []byte, fb packet.Feedback) error {
 	if b[offVersion] != VersionV1 {
 		return fmt.Errorf("%w: %d", ErrVersion, b[offVersion])
 	}
+	// Refuse to stamp a datagram that is already damaged: recomputing the
+	// checksum over corrupted bytes would launder the corruption back into
+	// a "valid" datagram.
+	if binary.BigEndian.Uint32(b[offCRC:]) != crcOf(b) {
+		return ErrChecksum
+	}
 	cur := packet.Feedback{
 		RouterID: int(int32(binary.BigEndian.Uint32(b[offRouterID:]))),
 		Epoch:    binary.BigEndian.Uint64(b[offEpoch:]),
@@ -252,5 +307,31 @@ func StampFeedback(b []byte, fb packet.Feedback) error {
 	binary.BigEndian.PutUint64(b[offEpoch:], merged.Epoch)
 	binary.BigEndian.PutUint64(b[offLoss:], math.Float64bits(merged.Loss))
 	b[offFlags] |= flagFeedbackValid
+	patchCRC(b)
+	return nil
+}
+
+// ClearFeedback strips the feedback label of an encoded datagram in
+// place (Valid=false, fields zeroed) and repairs the checksum. Fault
+// injectors use it to model a router whose feedback path is starved:
+// data keeps flowing but carries no stamp.
+func ClearFeedback(b []byte) error {
+	if len(b) < HeaderSize {
+		return fmt.Errorf("%w: %d bytes", ErrTruncated, len(b))
+	}
+	if binary.BigEndian.Uint32(b[offMagic:]) != Magic {
+		return ErrMagic
+	}
+	if b[offVersion] != VersionV1 {
+		return fmt.Errorf("%w: %d", ErrVersion, b[offVersion])
+	}
+	if binary.BigEndian.Uint32(b[offCRC:]) != crcOf(b) {
+		return ErrChecksum
+	}
+	b[offFlags] &^= flagFeedbackValid
+	binary.BigEndian.PutUint32(b[offRouterID:], 0)
+	binary.BigEndian.PutUint64(b[offEpoch:], 0)
+	binary.BigEndian.PutUint64(b[offLoss:], 0)
+	patchCRC(b)
 	return nil
 }

@@ -92,15 +92,23 @@ func TestDecodeRejects(t *testing.T) {
 		{"trailing junk", func(b []byte) []byte { return append(b, 0) }, ErrLength},
 		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }, ErrMagic},
 		{"bad version", func(b []byte) []byte { b[offVersion] = 9; return b }, ErrVersion},
-		{"bad type", func(b []byte) []byte { b[offType] = 200; return b }, ErrType},
-		{"bad color", func(b []byte) []byte { b[offColor] = 0; return b }, ErrColor},
-		{"ack-colored data", func(b []byte) []byte { b[offColor] = byte(packet.ACK); return b }, ErrColor},
-		{"reserved flags", func(b []byte) []byte { b[offFlags] |= 0x80; return b }, ErrFlags},
+		// Field-level rejections need the checksum re-patched after the
+		// mangle, or the (earlier) integrity check masks them.
+		{"bad type", func(b []byte) []byte { b[offType] = 200; patchCRC(b); return b }, ErrType},
+		{"bad color", func(b []byte) []byte { b[offColor] = 0; patchCRC(b); return b }, ErrColor},
+		{"ack-colored data", func(b []byte) []byte { b[offColor] = byte(packet.ACK); patchCRC(b); return b }, ErrColor},
+		{"reserved flags", func(b []byte) []byte { b[offFlags] |= 0x80; patchCRC(b); return b }, ErrFlags},
 		{"oversized claim", func(b []byte) []byte {
 			b[offPayload] = 0xFF
 			b[offPayload+1] = 0xFF
 			return b
 		}, ErrOversized},
+		// In-flight corruption of any covered byte — header field or
+		// payload — must surface as the distinct checksum error before
+		// sequence-space bookkeeping can run.
+		{"corrupted seq", func(b []byte) []byte { b[offSeq+3] ^= 0x10; return b }, ErrChecksum},
+		{"corrupted payload", func(b []byte) []byte { b[len(b)-1] ^= 0x01; return b }, ErrChecksum},
+		{"corrupted crc", func(b []byte) []byte { b[offCRC] ^= 0xFF; return b }, ErrChecksum},
 	}
 	for _, tc := range cases {
 		b := append([]byte(nil), valid...)
@@ -204,5 +212,58 @@ func TestStampFeedback(t *testing.T) {
 
 	if err := StampFeedback(b[:8], packet.Feedback{Valid: true}); !errors.Is(err, ErrTruncated) {
 		t.Errorf("truncated stamp: %v", err)
+	}
+
+	// A corrupted datagram must not be stamped: recomputing the checksum
+	// over garbled bytes would launder the corruption.
+	b[offSeq] ^= 0x40
+	if err := StampFeedback(b, packet.Feedback{RouterID: 3, Epoch: 11, Loss: 0.9, Valid: true}); !errors.Is(err, ErrChecksum) {
+		t.Errorf("stamp on corrupted datagram: got %v, want ErrChecksum", err)
+	}
+}
+
+// TestClearFeedback: stripping the label models feedback starvation and
+// leaves a decodable datagram with Valid=false.
+func TestClearFeedback(t *testing.T) {
+	b, err := EncodeDatagram(sampleHeader(), []byte("p"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ClearFeedback(b); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeDatagram(b)
+	if err != nil {
+		t.Fatalf("decode after clear: %v", err)
+	}
+	if got.Feedback != (packet.Feedback{}) {
+		t.Errorf("feedback after clear: %+v, want zero", got.Feedback)
+	}
+	want := sampleHeader()
+	if got.Seq != want.Seq || got.Color != want.Color || got.Frame != want.Frame {
+		t.Errorf("clear disturbed other fields: %+v", got)
+	}
+	// Corrupted input is refused, truncated input too.
+	b[offColor] ^= 0x07
+	if err := ClearFeedback(b); !errors.Is(err, ErrChecksum) {
+		t.Errorf("clear on corrupted datagram: got %v, want ErrChecksum", err)
+	}
+	if err := ClearFeedback(b[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("clear on truncated datagram: got %v, want ErrTruncated", err)
+	}
+}
+
+// TestPeekType classifies without full decode.
+func TestPeekType(t *testing.T) {
+	d, _ := EncodeDatagram(sampleHeader(), nil)
+	if ty, ok := PeekType(d); !ok || ty != TypeData {
+		t.Errorf("PeekType(data) = %v,%v", ty, ok)
+	}
+	f, _ := EncodeDatagram(Header{Type: TypeFeedback, Color: packet.ACK}, nil)
+	if ty, ok := PeekType(f); !ok || ty != TypeFeedback {
+		t.Errorf("PeekType(feedback) = %v,%v", ty, ok)
+	}
+	if _, ok := PeekType(d[:HeaderSize-1]); ok {
+		t.Error("PeekType accepted a truncated datagram")
 	}
 }

@@ -181,3 +181,47 @@ func (g *Gateway) Stamped() uint64 {
 	defer g.mu.Unlock()
 	return g.stamped
 }
+
+// MarkerSwitch is a Marker whose underlying implementation can be swapped
+// while traffic flows — the live mechanism for a route change or gateway
+// restart: the link keeps one Marker for its lifetime, and chaos drivers
+// replace the Gateway behind it (new RouterID, epoch counter back at
+// zero). A nil inner marker stamps nothing and ranks everything equal.
+type MarkerSwitch struct {
+	mu    sync.RWMutex
+	inner Marker
+}
+
+// NewMarkerSwitch returns a switch initially delegating to m (may be nil).
+func NewMarkerSwitch(m Marker) *MarkerSwitch {
+	return &MarkerSwitch{inner: m}
+}
+
+// Set atomically replaces the delegate marker.
+func (s *MarkerSwitch) Set(m Marker) {
+	s.mu.Lock()
+	s.inner = m
+	s.mu.Unlock()
+}
+
+// Mark delegates to the current marker.
+func (s *MarkerSwitch) Mark(b []byte) bool {
+	s.mu.RLock()
+	m := s.inner
+	s.mu.RUnlock()
+	if m == nil {
+		return false
+	}
+	return m.Mark(b)
+}
+
+// Priority delegates to the current marker.
+func (s *MarkerSwitch) Priority(b []byte) int {
+	s.mu.RLock()
+	m := s.inner
+	s.mu.RUnlock()
+	if m == nil {
+		return 0
+	}
+	return m.Priority(b)
+}

@@ -3,9 +3,11 @@ package wire
 import (
 	"math/rand"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/units"
 )
 
@@ -42,6 +44,15 @@ type LinkConfig struct {
 	Seed int64
 	// Marker, if non-nil, stamps and classifies datagrams (the router).
 	Marker Marker
+	// Faults, if non-nil, applies a scheduled fault plan to every
+	// datagram entering the link. Effects run after marking (a router
+	// stamps before the wire damages), with time measured as the offset
+	// from link creation on the link's clock. Do not share one injector
+	// between links: its random stream would entangle their decisions.
+	Faults *fault.Injector
+	// Now overrides the clock used for arrival stamps and the fault
+	// schedule; nil means time.Now. Tests inject a synthetic clock here.
+	Now func() time.Time
 }
 
 // DefaultQueueBytes is the buffer used when LinkConfig.QueueBytes is 0.
@@ -59,14 +70,19 @@ type LinkStats struct {
 	OverflowDrops uint64
 	// MarkerDrops were discarded by the Marker.
 	MarkerDrops uint64
+	// FaultDrops were discarded by the fault injector (burst loss, link
+	// flaps, feedback starvation). Other fault effects are counted by the
+	// injector itself (fault.Injector.Stats).
+	FaultDrops uint64
 }
 
 // queued is one datagram waiting for the serializer.
 type queued struct {
-	b    []byte
-	to   net.Addr
-	prio int
-	at   time.Time // arrival instant, anchors the serialization deadline
+	b     []byte
+	to    net.Addr
+	prio  int
+	at    time.Time     // arrival instant, anchors the serialization deadline
+	extra time.Duration // fault-injected extra propagation delay (reordering)
 }
 
 // link shapes datagrams through loss → marking → bounded priority queue →
@@ -85,6 +101,7 @@ type link struct {
 	rng    *rand.Rand
 	stats  LinkStats
 	closed bool
+	start  time.Time // link creation; anchors the fault schedule
 
 	outMu   sync.Mutex
 	outCond *sync.Cond
@@ -105,10 +122,14 @@ func newLink(cfg LinkConfig, deliver func(b []byte, to net.Addr)) *link {
 	if cfg.QueueBytes <= 0 {
 		cfg.QueueBytes = DefaultQueueBytes
 	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
 	l := &link{
 		cfg:     cfg,
 		deliver: deliver,
 		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		start:   cfg.Now(),
 	}
 	l.cond = sync.NewCond(&l.mu)
 	l.outCond = sync.NewCond(&l.outMu)
@@ -138,10 +159,38 @@ func (l *link) send(b []byte, to net.Addr) {
 			return
 		}
 	}
-	q := queued{b: c, to: to, at: time.Now()}
+	q := queued{b: c, to: to, at: l.cfg.Now()}
 	if l.cfg.Marker != nil {
 		q.prio = l.cfg.Marker.Priority(c)
 	}
+	if l.cfg.Faults != nil {
+		// After marking: the router stamps before the wire damages, so
+		// corruption cannot be healed by a later stamp and a stripped
+		// label stays stripped.
+		d := l.cfg.Faults.Filter(q.at.Sub(l.start), fault.Packet{Size: len(c), Class: classify(c)})
+		if d.Drop {
+			l.stats.FaultDrops++
+			return
+		}
+		if d.StripFeedback {
+			_ = ClearFeedback(c) // non-PELS datagrams have nothing to strip
+		}
+		if d.Corrupt {
+			fault.Scramble(c, d.Bits)
+		}
+		q.extra = d.ExtraDelay
+		if d.Duplicate {
+			dup := q
+			dup.b = append([]byte(nil), c...)
+			l.enqueueLocked(dup)
+		}
+	}
+	l.enqueueLocked(q)
+}
+
+// enqueueLocked admits q to the bounded queue, evicting to make room.
+// Callers hold l.mu.
+func (l *link) enqueueLocked(q queued) {
 	// Make room: evict from the least important end first. Scanning from
 	// the tail prefers dropping the newest datagram among equals, the
 	// closest live analogue of tail drop within a priority class. If the
@@ -167,6 +216,24 @@ func (l *link) send(b []byte, to net.Addr) {
 	l.bytes += len(q.b)
 	l.stats.Enqueued++
 	l.cond.Signal()
+}
+
+// classify maps a datagram onto the traffic classes the fault injector
+// distinguishes. No CRC check here — a datagram corrupted by an earlier
+// event is classified by its (possibly damaged) type byte, exactly as a
+// confused middlebox would.
+func classify(b []byte) fault.Class {
+	t, ok := PeekType(b)
+	switch {
+	case !ok:
+		return fault.ClassOther
+	case t == TypeData:
+		return fault.ClassData
+	case t == TypeFeedback:
+		return fault.ClassFeedback
+	default:
+		return fault.ClassOther
+	}
 }
 
 // serialize drains the queue at Bandwidth. Transmission deadlines are
@@ -205,16 +272,23 @@ func (l *link) serialize() {
 		} else {
 			busyUntil = q.at
 		}
+		o := outgoing{b: q.b, to: q.to, at: busyUntil.Add(l.cfg.Delay + q.extra)}
 		l.outMu.Lock()
-		l.out = append(l.out, outgoing{b: q.b, to: q.to, at: busyUntil.Add(l.cfg.Delay)})
+		// Insert sorted by delivery instant: a fault-delayed datagram slots
+		// behind later traffic, which is what makes the delay a reordering.
+		i := sort.Search(len(l.out), func(i int) bool { return l.out[i].at.After(o.at) })
+		l.out = append(l.out, outgoing{})
+		copy(l.out[i+1:], l.out[i:])
+		l.out[i] = o
 		l.outCond.Signal()
 		l.outMu.Unlock()
 	}
 }
 
 // propagate delivers serialized datagrams at their absolute delivery
-// instants, in order (delivery instants are monotone because busyUntil
-// is).
+// instants. Without faults the delivery instants are monotone (busyUntil
+// is); a fault-injected extra delay breaks monotonicity deliberately, and
+// the sorted insert in serialize turns it into real reordering.
 func (l *link) propagate() {
 	defer l.wg.Done()
 	for {

@@ -56,6 +56,9 @@ type ReceiverStats struct {
 	LastFeedback packet.Feedback
 	// FeedbackSent counts reverse-path feedback datagrams emitted.
 	FeedbackSent uint64
+	// Probes counts liveness re-echoes of the last feedback label sent
+	// during idle periods (included in FeedbackSent).
+	Probes uint64
 	// DecodeErrors counts malformed datagrams dropped on the floor.
 	DecodeErrors uint64
 	// FirstAt/LastAt bracket the arrival interval, for goodput.
@@ -84,6 +87,16 @@ type ReceiverConfig struct {
 	Obs *obs.Registry
 	// Now overrides the clock for tests; nil means time.Now.
 	Now func() time.Time
+	// ProbeIdle arms the liveness probe: once the stream has started, an
+	// idle period of this length makes the receiver re-send its last
+	// feedback label, backing off exponentially (ProbeIdle, 2·ProbeIdle,
+	// …, capped at ProbeMax) until data resumes. The probes restore the
+	// feedback loop after a link outage whose last real echo was lost —
+	// without them, sender and receiver can deadlock at minimum rate.
+	// 0 disables probing.
+	ProbeIdle time.Duration
+	// ProbeMax caps the probe backoff; 0 selects 8·ProbeIdle.
+	ProbeMax time.Duration
 }
 
 // colorTrack is the per-color sequence tracker.
@@ -113,11 +126,17 @@ type Receiver struct {
 	anyFrame  bool
 	peer      net.Addr
 
+	// Liveness probe state.
+	lastData  time.Time
+	lastProbe time.Time
+	probeWait time.Duration
+
 	obsDatagrams *obs.Counter
 	obsBytes     *obs.Counter
 	obsEpochs    *obs.Counter
 	obsFeedback  *obs.Counter
 	obsErrors    *obs.Counter
+	obsProbes    *obs.Counter
 }
 
 // NewReceiver builds a receiver on conn. The conn is borrowed, not
@@ -126,11 +145,15 @@ func NewReceiver(conn net.PacketConn, cfg ReceiverConfig) *Receiver {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+	if cfg.ProbeIdle > 0 && cfg.ProbeMax <= 0 {
+		cfg.ProbeMax = 8 * cfg.ProbeIdle
+	}
 	r := &Receiver{
-		cfg:    cfg,
-		conn:   conn,
-		colors: map[packet.Color]*colorTrack{},
-		peer:   cfg.Peer,
+		cfg:       cfg,
+		conn:      conn,
+		colors:    map[packet.Color]*colorTrack{},
+		peer:      cfg.Peer,
+		probeWait: cfg.ProbeIdle,
 	}
 	if cfg.Obs != nil {
 		r.obsDatagrams = cfg.Obs.Counter("receiver.datagrams")
@@ -138,6 +161,7 @@ func NewReceiver(conn net.PacketConn, cfg ReceiverConfig) *Receiver {
 		r.obsEpochs = cfg.Obs.Counter("receiver.epochs")
 		r.obsFeedback = cfg.Obs.Counter("receiver.feedback_sent")
 		r.obsErrors = cfg.Obs.Counter("receiver.decode_errors")
+		r.obsProbes = cfg.Obs.Counter("receiver.probes")
 		for _, c := range []packet.Color{packet.Green, packet.Yellow, packet.Red} {
 			c := c
 			name := "receiver." + strings.ToLower(c.String())
@@ -176,6 +200,7 @@ func (r *Receiver) Run(ctx context.Context) error {
 		switch {
 		case err == nil:
 		case errors.Is(err, os.ErrDeadlineExceeded):
+			r.maybeProbe(r.cfg.Now())
 			continue
 		case errors.Is(err, net.ErrClosed):
 			// Expected only during shutdown; with a live context the
@@ -188,6 +213,46 @@ func (r *Receiver) Run(ctx context.Context) error {
 			return fmt.Errorf("wire: receive: %w", err)
 		}
 		r.Handle(buf[:n], from, r.cfg.Now())
+	}
+}
+
+// maybeProbe re-echoes the last feedback label when the stream has gone
+// idle, with bounded exponential backoff (exported indirectly through Run;
+// tests may call it with a synthetic clock via Handle + deadline expiry).
+func (r *Receiver) maybeProbe(now time.Time) {
+	if r.cfg.ProbeIdle <= 0 {
+		return
+	}
+	r.mu.Lock()
+	if !r.lastFB.Valid || r.peer == nil ||
+		now.Sub(r.lastData) < r.probeWait || now.Sub(r.lastProbe) < r.probeWait {
+		r.mu.Unlock()
+		return
+	}
+	r.lastProbe = now
+	if r.probeWait *= 2; r.probeWait > r.cfg.ProbeMax {
+		r.probeWait = r.cfg.ProbeMax
+	}
+	r.fbSeq++
+	echo := Header{
+		Type:      TypeFeedback,
+		Color:     packet.ACK,
+		Flow:      r.cfg.Flow,
+		Seq:       r.fbSeq,
+		Timestamp: now.UnixNano(),
+		Feedback:  r.lastFB,
+	}
+	r.stats.FeedbackSent++
+	r.stats.Probes++
+	if r.obsProbes != nil {
+		r.obsProbes.Inc()
+		r.obsFeedback.Inc()
+	}
+	peer := r.peer
+	r.mu.Unlock()
+
+	if b, err := EncodeDatagram(echo, nil); err == nil {
+		_, _ = r.conn.WriteTo(b, peer)
 	}
 }
 
@@ -219,6 +284,8 @@ func (r *Receiver) Handle(b []byte, from net.Addr, now time.Time) {
 		r.stats.FirstAt = now
 	}
 	r.stats.LastAt = now
+	r.lastData = now
+	r.probeWait = r.cfg.ProbeIdle // data resumed: rearm the backoff
 	r.stats.Datagrams++
 	r.stats.Bytes += uint64(len(b))
 	if r.obsDatagrams != nil {

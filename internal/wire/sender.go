@@ -45,6 +45,16 @@ type SenderConfig struct {
 	// MaxFrames stops the sender after that many frames; 0 streams until
 	// the context is canceled.
 	MaxFrames int
+	// StaleTimeout arms the stale-feedback watchdog: when no fresh
+	// feedback has been accepted for this long, the sender multiplies its
+	// effective rate by StaleDecay, once per elapsed timeout horizon,
+	// never below the MKC minimum rate. The first accepted feedback
+	// restores the controller rate in full (the controller state itself is
+	// never decayed — only the pacing on top of it). 0 disables the
+	// watchdog.
+	StaleTimeout time.Duration
+	// StaleDecay is the per-horizon decay factor in (0,1); 0 selects 0.5.
+	StaleDecay float64
 	// Obs, if non-nil, registers the sender's counters and control series
 	// under the "sender." prefix. Series are timed as wall-clock offsets
 	// from the sender's construction.
@@ -79,6 +89,9 @@ func (c SenderConfig) WithDefaults() SenderConfig {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.StaleDecay == 0 {
+		c.StaleDecay = 0.5
+	}
 	return c
 }
 
@@ -95,6 +108,9 @@ func (c SenderConfig) Validate() error {
 		return fmt.Errorf("wire: packet size %d exceeds max datagram %d",
 			c.Frame.PacketSize, MaxDatagram)
 	}
+	if c.StaleDecay < 0 || c.StaleDecay >= 1 {
+		return fmt.Errorf("wire: stale decay %v must be in (0,1)", c.StaleDecay)
+	}
 	return nil
 }
 
@@ -107,6 +123,14 @@ type SenderStats struct {
 	Rate             units.BitRate
 	Gamma            float64
 	LastLoss         float64
+	// StaleDecays counts watchdog rate decays, Recoveries the returns to
+	// full controller rate, RouterChanges the feedback discontinuities
+	// that reset γ. Degrade is the current watchdog multiplier (1 when
+	// feedback is fresh).
+	StaleDecays   uint64
+	Recoveries    uint64
+	RouterChanges uint64
+	Degrade       float64
 }
 
 // Sender streams FGS frames over a net.PacketConn: at each frame boundary
@@ -127,13 +151,28 @@ type Sender struct {
 	seq   map[packet.Color]uint64
 	stats SenderStats
 
-	start        time.Time
-	obsDatagrams *obs.Counter
-	obsBytes     *obs.Counter
-	obsFeedback  *obs.Counter
-	obsRate      *obs.Series
-	obsGamma     *obs.Series
+	// Stale-feedback watchdog and feedback-discontinuity state.
+	degrade        float64 // effective-rate multiplier, 1 when fresh
+	lastFeedbackAt time.Time
+	lastDecayAt    time.Time
+	lastRouterID   int
+	haveRouter     bool
+
+	start           time.Time
+	obsDatagrams    *obs.Counter
+	obsBytes        *obs.Counter
+	obsFeedback     *obs.Counter
+	obsStaleDecays  *obs.Counter
+	obsRecoveries   *obs.Counter
+	obsRouterChange *obs.Counter
+	obsRate         *obs.Series
+	obsGamma        *obs.Series
 }
+
+// minDegrade bounds the watchdog multiplier so a long outage cannot
+// underflow it; ten halvings is already far below any useful video rate
+// and the MKC minimum rate floors the effective rate anyway.
+const minDegrade = 1.0 / 1024
 
 // NewSender builds a session streaming to peer over conn. The conn is
 // borrowed, not owned: Close remains the caller's job.
@@ -155,20 +194,25 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg SenderConfig) (*Sender, e
 		return nil, err
 	}
 	s := &Sender{
-		cfg:   cfg,
-		conn:  conn,
-		peer:  peer,
-		ctrl:  ctrl,
-		gamma: gamma,
-		pk:    pk,
-		pacer: NewPacer(ctrl.Rate(), cfg.BurstBytes),
-		seq:   map[packet.Color]uint64{},
-		start: cfg.Now(),
+		cfg:     cfg,
+		conn:    conn,
+		peer:    peer,
+		ctrl:    ctrl,
+		gamma:   gamma,
+		pk:      pk,
+		pacer:   NewPacer(ctrl.Rate(), cfg.BurstBytes),
+		seq:     map[packet.Color]uint64{},
+		degrade: 1,
+		start:   cfg.Now(),
 	}
+	s.lastFeedbackAt = s.start
 	if cfg.Obs != nil {
 		s.obsDatagrams = cfg.Obs.Counter("sender.datagrams")
 		s.obsBytes = cfg.Obs.Counter("sender.bytes")
 		s.obsFeedback = cfg.Obs.Counter("sender.feedback_accepted")
+		s.obsStaleDecays = cfg.Obs.Counter("sender.stale_decays")
+		s.obsRecoveries = cfg.Obs.Counter("sender.recoveries")
+		s.obsRouterChange = cfg.Obs.Counter("sender.router_changes")
 		s.obsRate = cfg.Obs.Series("sender.rate_kbps")
 		s.obsGamma = cfg.Obs.Series("sender.gamma")
 	}
@@ -186,6 +230,7 @@ func (s *Sender) Run(ctx context.Context) error {
 	defer timer.Stop()
 
 	for frame := 0; s.cfg.MaxFrames == 0 || frame < s.cfg.MaxFrames; frame++ {
+		s.checkStale()
 		plan := s.planFrame(frame)
 		if plan.Total() == 0 {
 			// Degenerate budget: idle one frame interval instead of
@@ -239,12 +284,53 @@ func (s *Sender) Run(ctx context.Context) error {
 }
 
 // planFrame sizes frame like the simulator source: x_i = scaler budget at
-// the controller's current rate, partitioned by the current γ.
+// the effective rate (controller rate times watchdog degradation),
+// partitioned by the current γ.
 func (s *Sender) planFrame(frame int) fgs.PacketPlan {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	budget := s.cfg.Scaler.Budget(frame, s.ctrl.Rate(), s.cfg.FrameInterval)
+	budget := s.cfg.Scaler.Budget(frame, s.effectiveRateLocked(), s.cfg.FrameInterval)
 	return s.pk.PlanShare(frame, budget, s.gamma.Value(), s.cfg.RedShare)
+}
+
+// effectiveRateLocked is the controller rate scaled by the watchdog
+// multiplier, floored at the MKC minimum rate so a long feedback outage
+// degrades the stream to its base layer instead of silencing it (the
+// trickle is also what re-probes the path for recovery).
+func (s *Sender) effectiveRateLocked() units.BitRate {
+	r := units.BitRate(float64(s.ctrl.Rate()) * s.degrade)
+	if min := s.cfg.MKC.MinRate; min > 0 && r < min {
+		r = min
+	}
+	return r
+}
+
+// checkStale runs the watchdog at each frame boundary: past StaleTimeout
+// without accepted feedback, decay the effective rate once per elapsed
+// horizon until feedback returns.
+func (s *Sender) checkStale() {
+	if s.cfg.StaleTimeout <= 0 {
+		return
+	}
+	now := s.cfg.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if now.Sub(s.lastFeedbackAt) < s.cfg.StaleTimeout {
+		return
+	}
+	if now.Sub(s.lastDecayAt) < s.cfg.StaleTimeout {
+		return // at most one decay per horizon
+	}
+	s.lastDecayAt = now
+	if s.degrade *= s.cfg.StaleDecay; s.degrade < minDegrade {
+		s.degrade = minDegrade
+	}
+	s.stats.StaleDecays++
+	s.pacer.SetRate(s.effectiveRateLocked(), now)
+	if s.obsStaleDecays != nil {
+		s.obsStaleDecays.Inc()
+		s.obsRate.Add(now.Sub(s.start), s.effectiveRateLocked().KbpsValue())
+	}
 }
 
 func (s *Sender) nextSeq(c packet.Color) uint64 {
@@ -268,10 +354,34 @@ func (s *Sender) HandleFeedback(fb packet.Feedback) bool {
 	if !s.ctrl.OnFeedback(fb) {
 		return false
 	}
-	s.gamma.Update(fb.Loss)
-	s.stats.FeedbackAccepted++
 	now := s.cfg.Now()
-	s.pacer.SetRate(s.ctrl.Rate(), now)
+	s.lastFeedbackAt = now
+	if s.degrade != 1 {
+		// The feedback loop is live again: the decayed multiplier served
+		// its purpose, return to the controller's rate in one step.
+		s.degrade = 1
+		s.stats.Recoveries++
+		if s.obsRecoveries != nil {
+			s.obsRecoveries.Inc()
+		}
+	}
+	if s.haveRouter && fb.RouterID != s.lastRouterID {
+		// Feedback discontinuity: a route change or gateway swap moved the
+		// bottleneck. The loss history γ integrated belongs to the old
+		// queue — restart the red fraction from its initial value instead
+		// of stepping it with a cross-router delta.
+		s.gamma.Reset()
+		s.stats.RouterChanges++
+		if s.obsRouterChange != nil {
+			s.obsRouterChange.Inc()
+		}
+	} else {
+		s.gamma.Update(fb.Loss)
+	}
+	s.lastRouterID = fb.RouterID
+	s.haveRouter = true
+	s.stats.FeedbackAccepted++
+	s.pacer.SetRate(s.effectiveRateLocked(), now)
 	if s.obsFeedback != nil {
 		s.obsFeedback.Inc()
 		at := now.Sub(s.start)
@@ -324,6 +434,7 @@ func (s *Sender) Stats() SenderStats {
 	st.Rate = s.ctrl.Rate()
 	st.Gamma = s.gamma.Value()
 	st.LastLoss = s.ctrl.LastLoss()
+	st.Degrade = s.degrade
 	return st
 }
 
