@@ -1,0 +1,35 @@
+package repro_test
+
+import "testing"
+
+// TestMetricNameDistinctLosses pins the fix for the metric-collision bug:
+// the old threshold-bucket metricName mapped p=0.02 and p=0.04 both to
+// "0.01", so one Table 1 row silently overwrote the other in the reported
+// metrics.
+func TestMetricNameDistinctLosses(t *testing.T) {
+	losses := []float64{0.0001, 0.0005, 0.01, 0.02, 0.04, 0.1, 0.2}
+	seen := map[string]float64{}
+	for _, p := range losses {
+		name := metricName(p)
+		if prev, dup := seen[name]; dup {
+			t.Errorf("metricName collision: p=%g and p=%g both render %q", prev, p, name)
+		}
+		seen[name] = p
+	}
+}
+
+func TestMetricNameFormat(t *testing.T) {
+	for _, tc := range []struct {
+		p    float64
+		want string
+	}{
+		{0.0001, "0.0001"},
+		{0.01, "0.01"},
+		{0.1, "0.1"},
+		{0.25, "0.25"},
+	} {
+		if got := metricName(tc.p); got != tc.want {
+			t.Errorf("metricName(%g) = %q, want %q", tc.p, got, tc.want)
+		}
+	}
+}

@@ -8,8 +8,14 @@ package repro_test
 //
 // regenerates the entire evaluation and doubles as a performance harness
 // for the simulator itself.
+//
+// Benchmarks that vary the seed per iteration report their metrics from the
+// FIRST iteration (seed 1), never the last: the last iteration's seed is
+// b.N, which changes with -benchtime, and the committed BENCH_*.json
+// trajectory needs figures that are stable run to run.
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -40,15 +46,13 @@ func Table1Rows(cfg experiments.Table1Config) []experiments.Table1Row {
 	return experiments.Table1(cfg)
 }
 
+// metricName renders a loss probability for use in a metric name. It
+// formats the actual value (shortest round-trippable form), so two rows
+// with different losses can never collide into one metric — the old
+// threshold-bucket version reported p=0.02 and p=0.04 under the same name,
+// silently dropping one of them.
 func metricName(p float64) string {
-	switch {
-	case p < 0.001:
-		return "0.0001"
-	case p < 0.05:
-		return "0.01"
-	default:
-		return "0.1"
-	}
+	return fmt.Sprintf("%g", p)
 }
 
 // BenchmarkFigure2 regenerates Fig. 2: useful packets and utility vs H.
@@ -68,7 +72,10 @@ func BenchmarkFigure2(b *testing.B) {
 func BenchmarkFigure3(b *testing.B) {
 	var res experiments.Figure3Result
 	for i := 0; i < b.N; i++ {
-		res = experiments.Figure3(100, 0.1, int64(i+1))
+		r := experiments.Figure3(100, 0.1, int64(i+1))
+		if i == 0 {
+			res = r
+		}
 	}
 	b.ReportMetric(float64(res.RandomUseful), "random_useful")
 	b.ReportMetric(float64(res.IdealUseful), "ideal_useful")
@@ -97,10 +104,12 @@ func BenchmarkFigure7(b *testing.B) {
 	var runs []experiments.Figure7Run
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		runs, err = experiments.Figure7(cfg)
+		r, err := experiments.Figure7(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			runs = r
 		}
 	}
 	for _, r := range runs {
@@ -125,10 +134,12 @@ func BenchmarkFigure8(b *testing.B) {
 	var res *experiments.Figure8Result
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		res, err = experiments.Figure8(cfg)
+		r, err := experiments.Figure8(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			res = r
 		}
 	}
 	b.ReportMetric(res.GreenMean, "green_delay_ms")
@@ -146,10 +157,12 @@ func BenchmarkFigure9(b *testing.B) {
 	var res *experiments.Figure9Result
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		res, err = experiments.Figure9(cfg)
+		r, err := experiments.Figure9(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			res = r
 		}
 	}
 	b.ReportMetric(res.F1Peak, "f1_peak_kbps")
@@ -170,10 +183,12 @@ func BenchmarkFigure10(b *testing.B) {
 	var runs []experiments.Figure10Run
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		runs, err = experiments.Figure10(cfg)
+		r, err := experiments.Figure10(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			runs = r
 		}
 	}
 	for i, r := range runs {
@@ -198,10 +213,12 @@ func BenchmarkAblations(b *testing.B) {
 	var rows []experiments.AblationResult
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		rows, err = experiments.Ablations(cfg)
+		r, err := experiments.Ablations(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			rows = r
 		}
 	}
 	for _, r := range rows {
@@ -219,10 +236,12 @@ func BenchmarkMultiBottleneck(b *testing.B) {
 	var res *experiments.MultiBottleneckResult
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		res, err = experiments.MultiBottleneck(cfg)
+		r, err := experiments.MultiBottleneck(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			res = r
 		}
 	}
 	b.ReportMetric(res.RateBefore, "rate_before_kbps")
@@ -240,10 +259,12 @@ func BenchmarkRDScaling(b *testing.B) {
 	var res *experiments.RDScalingResult
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		res, err = experiments.RDScaling(cfg)
+		r, err := experiments.RDScaling(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			res = r
 		}
 	}
 	b.ReportMetric(res.ConstantStdDev, "psnr_stddev_constant")
@@ -261,10 +282,12 @@ func BenchmarkControllers(b *testing.B) {
 	var rows []experiments.ControllerResult
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		rows, err = experiments.Controllers(cfg)
+		r, err := experiments.Controllers(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			rows = r
 		}
 	}
 	for _, r := range rows {
@@ -282,10 +305,12 @@ func BenchmarkRTTFairness(b *testing.B) {
 	var res *experiments.RTTFairnessResult
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		res, err = experiments.RTTFairness(cfg)
+		r, err := experiments.RTTFairness(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			res = r
 		}
 	}
 	b.ReportMetric(res.JainIndex, "jain_index")
@@ -301,10 +326,12 @@ func BenchmarkIsolation(b *testing.B) {
 	var res *experiments.IsolationResult
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		res, err = experiments.Isolation(cfg)
+		r, err := experiments.Isolation(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			res = r
 		}
 	}
 	last := res.PELSSweep[len(res.PELSSweep)-1]
@@ -321,10 +348,12 @@ func BenchmarkUtilization(b *testing.B) {
 	var rows []experiments.UtilizationResult
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = int64(i + 1)
-		var err error
-		rows, err = experiments.Utilization(cfg)
+		r, err := experiments.Utilization(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		if i == 0 {
+			rows = r
 		}
 	}
 	for _, r := range rows {
@@ -338,6 +367,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if testing.Short() {
 		b.Skip("skipping full experiment benchmark in -short mode")
 	}
+	var firstRun float64
 	for i := 0; i < b.N; i++ {
 		cfg := experiments.DefaultTestbedConfig()
 		cfg.Seed = int64(i + 1)
@@ -348,6 +378,9 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		if err := tb.Run(10 * time.Second); err != nil {
 			b.Fatal(err)
 		}
-		b.ReportMetric(float64(tb.Eng.Processed()), "events/run")
+		if i == 0 {
+			firstRun = float64(tb.Eng.Processed())
+		}
 	}
+	b.ReportMetric(firstRun, "events/run")
 }

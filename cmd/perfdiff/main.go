@@ -1,0 +1,128 @@
+// Command perfdiff maintains and gates the repository's benchmark
+// trajectory (BENCH_*.json at the repo root).
+//
+// Emit mode parses `go test -bench` text on stdin into a schema-stable
+// JSON report:
+//
+//	go test -run '^$' -bench . -benchmem ./internal/perf | perfdiff -emit > BENCH_6.json
+//
+// With -count=N bench runs, add -best to collapse the repeats to their
+// min ns/op (and max allocs/op) — the noise-robust figures the gate wants:
+//
+//	go test -run '^$' -bench . -count=5 -benchmem ./internal/perf | perfdiff -emit -best
+//
+// Diff mode compares a fresh report against a committed baseline and exits
+// non-zero on regression — an ns/op increase beyond -max-ns-regress or an
+// allocs/op increase in benchmarks matching -gate (zero-tolerance at 0 and
+// 1 allocs/op; see perf.Diff for the proportional slack on benchmarks that
+// allocate by design):
+//
+//	perfdiff -base BENCH_6.json -new new.json -gate '^Benchmark(Wire|Sim)' -max-ns-regress 0.20
+//
+// -allocs-only restricts the gate to allocation counts, which are exactly
+// reproducible even on noisy shared machines.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+
+	"repro/internal/perf"
+)
+
+func main() {
+	var (
+		emit       = flag.Bool("emit", false, "parse `go test -bench` text on stdin and write a JSON report to stdout")
+		best       = flag.Bool("best", false, "with -emit: collapse -count=N repeats to min ns/op, max allocs/op")
+		basePath   = flag.String("base", "", "baseline report (diff mode)")
+		newPath    = flag.String("new", "", "fresh report to check against -base (diff mode)")
+		gateExpr   = flag.String("gate", "", "regexp selecting gated benchmarks (default: all)")
+		maxNs      = flag.Float64("max-ns-regress", 0.20, "tolerated fractional ns/op increase in gated benchmarks")
+		allocsOnly = flag.Bool("allocs-only", false, "gate only allocs/op, ignore timing (for noisy machines)")
+	)
+	flag.Parse()
+
+	switch {
+	case *emit:
+		rep, err := perf.Parse(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+		if len(rep.Benchmarks) == 0 {
+			fatal(fmt.Errorf("no benchmark lines found on stdin"))
+		}
+		if *best {
+			rep = rep.Best()
+		}
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			fatal(err)
+		}
+	case *basePath != "" && *newPath != "":
+		base, err := readReport(*basePath)
+		if err != nil {
+			fatal(err)
+		}
+		cur, err := readReport(*newPath)
+		if err != nil {
+			fatal(err)
+		}
+		cfg := perf.DiffConfig{MaxNsRegress: *maxNs, AllocsOnly: *allocsOnly}
+		if *gateExpr != "" {
+			cfg.Gate, err = regexp.Compile(*gateExpr)
+			if err != nil {
+				fatal(fmt.Errorf("bad -gate: %w", err))
+			}
+		}
+		summarize(base, cur, cfg)
+		regs := perf.Diff(base, cur, cfg)
+		if len(regs) > 0 {
+			fmt.Fprintf(os.Stderr, "\nperfdiff: %d regression(s):\n", len(regs))
+			for _, g := range regs {
+				fmt.Fprintf(os.Stderr, "  %s\n", g)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\nperfdiff: no gated regressions")
+	default:
+		fmt.Fprintln(os.Stderr, "usage: perfdiff -emit [-best] < bench.txt  |  perfdiff -base old.json -new new.json [-gate re] [-max-ns-regress 0.20] [-allocs-only]")
+		os.Exit(2)
+	}
+}
+
+func readReport(path string) (perf.Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return perf.Report{}, err
+	}
+	defer f.Close()
+	return perf.ReadJSON(f)
+}
+
+// summarize prints a comparison for every benchmark in the new report, so
+// the CI artifact shows the full picture, not just failures.
+func summarize(base, cur perf.Report, cfg perf.DiffConfig) {
+	fmt.Printf("%-34s %14s %14s %8s %10s\n", "benchmark", "base ns/op", "new ns/op", "Δ%", "allocs/op")
+	for _, n := range cur.Benchmarks {
+		b, ok := base.Lookup(n.Name)
+		mark := " "
+		if cfg.Gate == nil || cfg.Gate.MatchString(n.Name) {
+			mark = "*"
+		}
+		if !ok {
+			fmt.Printf("%s%-33s %14s %14.1f %8s %10.0f  (new)\n", mark, n.Name, "-", n.NsPerOp, "-", n.AllocsPerOp)
+			continue
+		}
+		delta := 0.0
+		if b.NsPerOp > 0 {
+			delta = 100 * (n.NsPerOp - b.NsPerOp) / b.NsPerOp
+		}
+		fmt.Printf("%s%-33s %14.1f %14.1f %+7.1f%% %10.0f\n", mark, n.Name, b.NsPerOp, n.NsPerOp, delta, n.AllocsPerOp)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "perfdiff:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "testing"
+
+// TestChaosFingerprintIdenticalAcrossEventQueues is the contract that let
+// the calendar queue replace the engine's binary heap: both implement the
+// same strict (time, seq) total order, so a full chaos-testbed run — fault
+// injection, gateway swap, every control loop live — must produce a
+// byte-identical observability CSV under either queue.
+func TestChaosFingerprintIdenticalAcrossEventQueues(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run in -short mode")
+	}
+	cfg := DefaultChaosTestbedConfig()
+	cal, err := ChaosTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Testbed.UseHeapEventQueue = true
+	hp, err := ChaosTestbed(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Events != hp.Events {
+		t.Fatalf("queues processed different event counts: calendar %d, heap %d", cal.Events, hp.Events)
+	}
+	if cal.Fingerprint != hp.Fingerprint {
+		t.Fatalf("event-queue implementations diverged:\ncalendar %s\nheap     %s",
+			cal.Fingerprint, hp.Fingerprint)
+	}
+}

@@ -34,6 +34,22 @@ type Link struct {
 	dst   Receiver
 	busy  bool
 
+	// pool, when non-nil, receives packets that terminate at this link
+	// (queue drops, fault drops). Set by Network when pooling is enabled.
+	pool *packet.Pool
+
+	// Hot-path state: cur is the packet being serialized; inflight is a
+	// FIFO (head at inflightHead) of packets in propagation. Deliveries are
+	// scheduled at txEnd+delay with monotonically increasing (at, seq), so
+	// pop order always matches push order. Together with the two method
+	// values below this removes the per-packet closure allocations the
+	// original implementation paid for every transmission.
+	cur          *packet.Packet
+	inflight     []*packet.Packet
+	inflightHead int
+	txEndFn      func()
+	deliverFn    func()
+
 	transmittedPkts  int64
 	transmittedBytes int64
 	faultDrops       int64
@@ -75,7 +91,10 @@ func NewLink(eng *sim.Engine, name string, rate units.BitRate, delay time.Durati
 	if disc == nil {
 		disc = queue.NewDropTail(0, 0)
 	}
-	return &Link{Name: name, eng: eng, rate: rate, delay: delay, disc: disc, dst: dst}
+	l := &Link{Name: name, eng: eng, rate: rate, delay: delay, disc: disc, dst: dst}
+	l.txEndFn = l.txEnd
+	l.deliverFn = l.deliver
+	return l
 }
 
 // Send offers a packet to the link's queue and starts transmission if the
@@ -93,6 +112,9 @@ func (l *Link) Send(p *packet.Packet) {
 			l.faultDrops++
 			if l.obsFaultDrops != nil {
 				l.obsFaultDrops.Inc()
+			}
+			if l.pool != nil {
+				l.pool.Put(p)
 			}
 			return
 		}
@@ -137,6 +159,9 @@ func (l *Link) admit(p *packet.Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(p)
 		}
+		if l.pool != nil {
+			l.pool.Put(p)
+		}
 		return
 	}
 	if l.OnEnqueue != nil {
@@ -158,17 +183,49 @@ func (l *Link) transmitNext() {
 	if l.OnTransmit != nil {
 		l.OnTransmit(p)
 	}
-	tx := l.rate.TransmissionTime(p.Size)
-	l.eng.Schedule(tx, func() {
-		l.transmittedPkts++
-		l.transmittedBytes += int64(p.Size)
-		if l.obsTx != nil {
-			l.obsTx.Inc()
-			l.obsTxBytes.Add(int64(p.Size))
+	l.cur = p
+	l.eng.ScheduleFunc(l.rate.TransmissionTime(p.Size), l.txEndFn)
+}
+
+// txEnd fires when the current packet's last bit leaves the interface: the
+// packet moves to the propagation FIFO and the next queued packet (if any)
+// starts serializing. The event order (delivery scheduled before the next
+// tx end) matches the original closure implementation exactly, so same-seed
+// runs are unchanged.
+func (l *Link) txEnd() {
+	p := l.cur
+	l.cur = nil
+	l.transmittedPkts++
+	l.transmittedBytes += int64(p.Size)
+	if l.obsTx != nil {
+		l.obsTx.Inc()
+		l.obsTxBytes.Add(int64(p.Size))
+	}
+	l.inflight = append(l.inflight, p)
+	l.eng.ScheduleFunc(l.delay, l.deliverFn)
+	l.transmitNext()
+}
+
+// deliver hands the oldest in-propagation packet to the destination.
+func (l *Link) deliver() {
+	p := l.inflight[l.inflightHead]
+	l.inflight[l.inflightHead] = nil
+	l.inflightHead++
+	if l.inflightHead == len(l.inflight) {
+		l.inflight = l.inflight[:0]
+		l.inflightHead = 0
+	} else if l.inflightHead >= 64 && 2*l.inflightHead >= len(l.inflight) {
+		// Long-delay, high-rate links never fully drain; slide the live
+		// tail down so the backing array stays bounded by the in-flight
+		// count.
+		n := copy(l.inflight, l.inflight[l.inflightHead:])
+		for i := n; i < len(l.inflight); i++ {
+			l.inflight[i] = nil
 		}
-		l.eng.Schedule(l.delay, func() { l.dst.Receive(p) })
-		l.transmitNext()
-	})
+		l.inflight = l.inflight[:n]
+		l.inflightHead = 0
+	}
+	l.dst.Receive(p)
 }
 
 // Instrument registers the link's transmit and drop totals in reg as

@@ -18,6 +18,11 @@ type Network struct {
 	adj    map[int][]edge // node id -> outgoing edges
 	nextID int
 	pktID  uint64
+
+	// pool, when non-nil, backs NewPacket with a free list. Hosts, routers
+	// and links created after EnablePacketPool return packets to it at
+	// their terminal consumption points.
+	pool *packet.Pool
 }
 
 type edge struct {
@@ -33,9 +38,29 @@ func NewNetwork(eng *sim.Engine) *Network {
 // Engine returns the driving simulation engine.
 func (n *Network) Engine() *sim.Engine { return n.eng }
 
+// EnablePacketPool makes NewPacket draw from a free list, with packets
+// returned when they terminate (delivered to a host app, discarded by a
+// router with no route, or dropped by a link). It must be called before the
+// topology is built, so every node and link carries the pool reference.
+//
+// Pooling is opt-in because it changes the ownership contract: once
+// enabled, apps and link hooks must not retain a *Packet beyond the
+// callback that delivered it (copy the values instead). All stacks in this
+// repository obey that rule; ad-hoc tests that collect packet pointers must
+// simply not enable the pool.
+func (n *Network) EnablePacketPool() {
+	if len(n.nodes) > 0 {
+		panic("netsim: EnablePacketPool after topology construction")
+	}
+	n.pool = &packet.Pool{}
+}
+
+// Pool returns the packet free list, or nil when pooling is disabled.
+func (n *Network) Pool() *packet.Pool { return n.pool }
+
 // NewHost adds a host to the topology.
 func (n *Network) NewHost(name string) *Host {
-	h := &Host{id: n.nextID, name: name, eng: n.eng, apps: make(map[int]App)}
+	h := &Host{id: n.nextID, name: name, eng: n.eng, apps: make(map[int]App), pool: n.pool}
 	n.nextID++
 	n.nodes = append(n.nodes, h)
 	return h
@@ -43,7 +68,7 @@ func (n *Network) NewHost(name string) *Host {
 
 // NewRouter adds a router to the topology.
 func (n *Network) NewRouter(name string) *Router {
-	r := &Router{id: n.nextID, name: name, routes: make(map[int]*Link)}
+	r := &Router{id: n.nextID, name: name, routes: make(map[int]*Link), pool: n.pool}
 	n.nextID++
 	n.nodes = append(n.nodes, r)
 	return r
@@ -64,6 +89,8 @@ type LinkConfig struct {
 func (n *Network) Connect(a, b Node, ab, ba LinkConfig) (*Link, *Link) {
 	fwd := NewLink(n.eng, fmt.Sprintf("%s->%s", a.Name(), b.Name()), ab.Rate, ab.Delay, ab.Disc, b)
 	rev := NewLink(n.eng, fmt.Sprintf("%s->%s", b.Name(), a.Name()), ba.Rate, ba.Delay, ba.Disc, a)
+	fwd.pool = n.pool
+	rev.pool = n.pool
 	n.adj[a.ID()] = append(n.adj[a.ID()], edge{to: b.ID(), link: fwd})
 	n.adj[b.ID()] = append(n.adj[b.ID()], edge{to: a.ID(), link: rev})
 	if h, ok := a.(*Host); ok {
@@ -122,9 +149,19 @@ func (n *Network) ComputeRoutes() error {
 	return nil
 }
 
-// NewPacket allocates a packet with a unique ID.
+// NewPacket allocates a packet with a unique ID, drawing from the free
+// list when pooling is enabled.
 func (n *Network) NewPacket(flowID, dst, size int, color packet.Color) *packet.Packet {
 	n.pktID++
+	if n.pool != nil {
+		p := n.pool.Get()
+		p.ID = n.pktID
+		p.FlowID = flowID
+		p.Dst = dst
+		p.Size = size
+		p.Color = color
+		return p
+	}
 	return &packet.Packet{
 		ID:     n.pktID,
 		FlowID: flowID,

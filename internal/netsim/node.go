@@ -33,6 +33,7 @@ type Host struct {
 	eng    *sim.Engine
 	uplink *Link
 	apps   map[int]App
+	pool   *packet.Pool
 
 	// DefaultApp, if set, receives packets whose flow has no registered
 	// app (useful for promiscuous monitors).
@@ -72,13 +73,17 @@ func (h *Host) Send(p *packet.Packet) {
 }
 
 // Receive implements Receiver: packets are demultiplexed to apps by flow.
+// A delivered packet terminates here — with pooling enabled it returns to
+// the free list once the app callback finishes, so apps must copy any
+// values they need rather than retain the pointer.
 func (h *Host) Receive(p *packet.Packet) {
 	if app, ok := h.apps[p.FlowID]; ok {
 		app.HandlePacket(p)
-		return
-	}
-	if h.DefaultApp != nil {
+	} else if h.DefaultApp != nil {
 		h.DefaultApp.HandlePacket(p)
+	}
+	if h.pool != nil {
+		h.pool.Put(p)
 	}
 }
 
@@ -90,6 +95,7 @@ type Router struct {
 	name   string
 	routes map[int]*Link
 	procs  []Processor
+	pool   *packet.Pool
 
 	forwarded int64
 	noRoute   int64
@@ -117,6 +123,9 @@ func (r *Router) Receive(p *packet.Packet) {
 	link, ok := r.routes[p.Dst]
 	if !ok {
 		r.noRoute++
+		if r.pool != nil {
+			r.pool.Put(p)
+		}
 		return
 	}
 	r.forwarded++

@@ -102,6 +102,11 @@ type Packet struct {
 	Created  time.Duration // when the source emitted the packet
 	Enqueued time.Duration // when the packet entered the bottleneck queue
 	Dequeued time.Duration // when the packet left the bottleneck queue
+
+	// inPool guards against double free when the packet is managed by a
+	// Pool. Get clears it via the full reset; struct copies (the fault
+	// injector's duplicate path) naturally carry false.
+	inPool bool
 }
 
 // QueueingDelay returns the time the packet spent in the last queue it

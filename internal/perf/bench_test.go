@@ -1,0 +1,271 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/packet"
+	"repro/internal/queue"
+	"repro/internal/sim"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// The micro benchmarks below cover every hot path the speed program
+// optimized: codec encode/decode/stamp, gateway marking, pacer accounting,
+// engine scheduling (both queue implementations), and packet transit
+// through a link. `make bench-json` runs them at -benchtime=1000x and the
+// Macro* pair at -benchtime=1x, folding the figures into BENCH_6.json;
+// cmd/perfdiff gates CI on the result.
+
+func benchHeader() wire.Header {
+	return wire.Header{
+		Type:      wire.TypeData,
+		Color:     packet.Yellow,
+		Flow:      7,
+		Frame:     1234,
+		Index:     9,
+		Seq:       1 << 40,
+		Timestamp: 1700000000 * int64(time.Second),
+		Feedback:  packet.Feedback{RouterID: 3, Epoch: 55, Loss: 0.0625, Valid: true},
+	}
+}
+
+func BenchmarkWireEncode(b *testing.B) {
+	h := benchHeader()
+	payload := make([]byte, 1000)
+	buf := make([]byte, 0, wire.MaxDatagram)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.AppendDatagram(buf[:0], h, payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkWireDecode(b *testing.B) {
+	dg, err := wire.EncodeDatagram(benchHeader(), make([]byte, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(dg)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.DecodeDatagram(dg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWireStampFeedback(b *testing.B) {
+	dg, err := wire.EncodeDatagram(benchHeader(), make([]byte, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Alternate losses so every other stamp actually rewrites the label
+		// (same-label stamps return before patching the checksum).
+		fb := packet.Feedback{RouterID: 9, Epoch: uint64(i), Loss: float64(i%2) * 0.5, Valid: true}
+		if err := wire.StampFeedback(dg, fb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGatewayMark(b *testing.B) {
+	g := wire.NewGateway(wire.GatewayConfig{
+		RouterID: 1,
+		Interval: 30 * time.Millisecond,
+		Capacity: 4 * units.Mbps,
+		MinLoss:  -0.5,
+	})
+	dg, err := wire.EncodeDatagram(benchHeader(), make([]byte, 1000))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Mark(dg)
+	}
+}
+
+func BenchmarkPacerReserve(b *testing.B) {
+	p := wire.NewPacer(10*units.Mbps, 64*1024)
+	now := time.Unix(1700000000, 0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Advance the clock enough to refill what one datagram spends, so
+		// the benchmark stays on the no-wait fast path.
+		now = now.Add(1200 * time.Microsecond)
+		p.Reserve(1460, now)
+	}
+}
+
+// BenchmarkSimScheduleFire measures one schedule→fire cycle through the
+// pooled fire-and-forget path on the calendar queue — the engine's hot
+// loop. Expect 0 allocs/op.
+func BenchmarkSimScheduleFire(b *testing.B) {
+	benchScheduleFire(b, false)
+}
+
+// BenchmarkSimHeapScheduleFire is the same cycle on the retained seed heap
+// (still pooled), isolating the queue data structure cost.
+func BenchmarkSimHeapScheduleFire(b *testing.B) {
+	benchScheduleFire(b, true)
+}
+
+func benchScheduleFire(b *testing.B, useHeap bool) {
+	eng := sim.NewEngine(1)
+	if useHeap {
+		eng.UseHeapQueue()
+	}
+	// Warm up outside the timed window: the gate runs this at a fixed
+	// -benchtime=1000x (exact allocs/op), and 1000 cold iterations would
+	// otherwise measure page faults and branch-predictor training instead
+	// of the schedule→fire cycle.
+	warm := 0
+	var warmTick func()
+	warmTick = func() {
+		warm++
+		if warm < 4096 {
+			eng.ScheduleFunc(time.Microsecond, warmTick)
+		}
+	}
+	eng.ScheduleFunc(0, warmTick)
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.ScheduleFunc(time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	eng.ScheduleFunc(0, tick)
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkSimScheduleCancel measures the handle path with immediate
+// cancellation — the retransmit-timer pattern that stresses compaction.
+func BenchmarkSimScheduleCancel(b *testing.B) {
+	eng := sim.NewEngine(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.Schedule(time.Hour, func() {}).Cancel()
+	}
+	b.StopTimer()
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+type perfSink struct{ n int }
+
+func (s *perfSink) Receive(p *packet.Packet) { s.n++ }
+
+// BenchmarkNetsimTransit measures one packet's full life on a link:
+// enqueue, serialize, propagate, deliver. Two engine events per op, zero
+// allocations in steady state.
+func BenchmarkNetsimTransit(b *testing.B) {
+	eng := sim.NewEngine(1)
+	sink := &perfSink{}
+	l := netsim.NewLink(eng, "bench", units.Gbps, time.Microsecond, queue.NewDropTail(0, 0), sink)
+	p := &packet.Packet{ID: 1, Size: 1000, Color: packet.Green}
+	// Prime event free list and FIFO capacity.
+	for i := 0; i < 16; i++ {
+		l.Send(p)
+	}
+	if err := eng.Run(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(p)
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if sink.n != b.N+16 {
+		b.Fatalf("delivered %d packets, want %d", sink.n, b.N+16)
+	}
+}
+
+// macroEvents is the macro workload size: one million events through a
+// population of concurrent self-rescheduling flows, the shape of a full
+// testbed run. macroFlows sets the pending-event set the queue must manage.
+const (
+	macroEvents = 1_000_000
+	macroFlows  = 16384
+)
+
+// BenchmarkMacroEngineCalendar runs the macro workload on the optimized
+// engine: calendar queue + pooled events. Run at -benchtime=1x.
+func BenchmarkMacroEngineCalendar(b *testing.B) {
+	benchEngineMacro(b, false)
+}
+
+// BenchmarkMacroEngineSeedHeap runs the identical workload the way the
+// seed engine did it: binary heap, one heap-allocated Event per schedule.
+// The events/sec ratio of this pair is the speedup the BENCH trajectory
+// tracks.
+func BenchmarkMacroEngineSeedHeap(b *testing.B) {
+	benchEngineMacro(b, true)
+}
+
+func benchEngineMacro(b *testing.B, seedHeap bool) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine(7)
+		if seedHeap {
+			eng.UseHeapQueue()
+		}
+		rng := eng.Rand()
+		processed := 0
+		var tick func()
+		tick = func() {
+			processed++
+			if processed >= macroEvents {
+				return
+			}
+			d := time.Duration(rng.Intn(5000)) * time.Microsecond
+			if seedHeap {
+				eng.Schedule(d, tick)
+			} else {
+				eng.ScheduleFunc(d, tick)
+			}
+		}
+		for f := 0; f < macroFlows; f++ {
+			if seedHeap {
+				eng.Schedule(time.Duration(f)*time.Microsecond, tick)
+			} else {
+				eng.ScheduleFunc(time.Duration(f)*time.Microsecond, tick)
+			}
+		}
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if got := int(eng.Processed()); got < macroEvents {
+			b.Fatalf("processed %d events, want >= %d", got, macroEvents)
+		}
+	}
+	b.ReportMetric(float64(macroEvents*b.N)/b.Elapsed().Seconds(), "events/sec")
+}

@@ -1,0 +1,253 @@
+// Package perf turns `go test -bench` output into a schema-stable JSON
+// report and compares two reports for regressions. It is the library behind
+// `make bench-json` (which maintains the BENCH_*.json trajectory at the
+// repository root) and cmd/perfdiff (which gates CI on it).
+//
+// Everything here is stdlib-only and deliberately dumb: the benchmark text
+// format is the interface Go has kept stable for a decade, and a flat JSON
+// array keyed by benchmark name is trivial to diff across commits.
+package perf
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema identifies the report layout. Bump only when a field changes
+// meaning; adding benchmarks or metrics is not a schema change.
+const Schema = "pels-bench/v1"
+
+// Benchmark is one benchmark's figures. NsPerOp, BytesPerOp and
+// AllocsPerOp mirror the standard testing outputs; Metrics carries custom
+// b.ReportMetric units (e.g. "events/sec").
+type Benchmark struct {
+	Name        string             `json:"name"`
+	Runs        int64              `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"b_per_op"`
+	AllocsPerOp float64            `json:"allocs_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole perf snapshot.
+type Report struct {
+	Schema     string      `json:"schema"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix strips the "-8" CPU suffix the bench runner appends.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse reads `go test -bench` text (possibly the concatenation of several
+// runs) and returns a Report with benchmarks sorted by name. Lines that are
+// not benchmark results are ignored. A duplicate benchmark name gets a
+// "#2", "#3", … suffix so no result is silently dropped.
+func Parse(r io.Reader) (Report, error) {
+	rep := Report{Schema: Schema}
+	seen := map[string]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Minimum shape: name, N, value, unit.
+		if len(fields) < 4 {
+			continue
+		}
+		runs, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name: gomaxprocsSuffix.ReplaceAllString(fields[0], ""),
+			Runs: runs,
+		}
+		// The tail is value/unit pairs.
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return Report{}, fmt.Errorf("perf: bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp = v
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			default:
+				if b.Metrics == nil {
+					b.Metrics = map[string]float64{}
+				}
+				b.Metrics[unit] = v
+			}
+		}
+		seen[b.Name]++
+		if n := seen[b.Name]; n > 1 {
+			b.Name = fmt.Sprintf("%s#%d", b.Name, n)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return Report{}, fmt.Errorf("perf: reading bench output: %w", err)
+	}
+	sort.Slice(rep.Benchmarks, func(i, j int) bool {
+		return rep.Benchmarks[i].Name < rep.Benchmarks[j].Name
+	})
+	return rep, nil
+}
+
+// Best collapses repeated runs of the same benchmark (the "#2", "#3", …
+// names Parse assigns, as produced by `go test -count=N`) into one entry:
+// minimum ns/op — the least-interference sample, the standard statistic
+// for gating on shared machines — and maximum B/op and allocs/op, so a
+// run only has to allocate once for the gate to see it. Custom metrics
+// come from the min-ns run. Single-run benchmarks pass through unchanged.
+func (r Report) Best() Report {
+	type agg struct {
+		best Benchmark
+		idx  int
+	}
+	byName := map[string]*agg{}
+	order := make([]string, 0, len(r.Benchmarks))
+	for _, b := range r.Benchmarks {
+		name := b.Name
+		if i := strings.LastIndexByte(name, '#'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		a, ok := byName[name]
+		if !ok {
+			b.Name = name
+			byName[name] = &agg{best: b}
+			order = append(order, name)
+			continue
+		}
+		if b.NsPerOp < a.best.NsPerOp {
+			a.best.NsPerOp = b.NsPerOp
+			a.best.Metrics = b.Metrics
+		}
+		if b.BytesPerOp > a.best.BytesPerOp {
+			a.best.BytesPerOp = b.BytesPerOp
+		}
+		if b.AllocsPerOp > a.best.AllocsPerOp {
+			a.best.AllocsPerOp = b.AllocsPerOp
+		}
+	}
+	out := Report{Schema: r.Schema, Benchmarks: make([]Benchmark, 0, len(order))}
+	for _, name := range order {
+		out.Benchmarks = append(out.Benchmarks, byName[name].best)
+	}
+	sort.Slice(out.Benchmarks, func(i, j int) bool {
+		return out.Benchmarks[i].Name < out.Benchmarks[j].Name
+	})
+	return out
+}
+
+// WriteJSON writes the report with stable formatting (sorted benchmarks,
+// two-space indent, trailing newline) so committed snapshots diff cleanly.
+func (r Report) WriteJSON(w io.Writer) error {
+	sort.Slice(r.Benchmarks, func(i, j int) bool {
+		return r.Benchmarks[i].Name < r.Benchmarks[j].Name
+	})
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ReadJSON parses a report and checks its schema tag.
+func ReadJSON(r io.Reader) (Report, error) {
+	var rep Report
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return Report{}, fmt.Errorf("perf: parsing report: %w", err)
+	}
+	if rep.Schema != Schema {
+		return Report{}, fmt.Errorf("perf: report schema %q, this tool speaks %q", rep.Schema, Schema)
+	}
+	return rep, nil
+}
+
+// Lookup returns the named benchmark.
+func (r Report) Lookup(name string) (Benchmark, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+// Regression is one gated comparison that got worse.
+type Regression struct {
+	Name   string  `json:"name"`
+	Metric string  `json:"metric"` // "ns/op", "allocs/op", or "missing"
+	Base   float64 `json:"base"`
+	New    float64 `json:"new"`
+}
+
+func (g Regression) String() string {
+	if g.Metric == "missing" {
+		return fmt.Sprintf("%s: gated benchmark missing from new report", g.Name)
+	}
+	if g.Base == 0 {
+		return fmt.Sprintf("%s: %s %.4g -> %.4g", g.Name, g.Metric, g.Base, g.New)
+	}
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)",
+		g.Name, g.Metric, g.Base, g.New, 100*(g.New-g.Base)/g.Base)
+}
+
+// DiffConfig tunes the regression gate.
+type DiffConfig struct {
+	// Gate selects which benchmarks are enforced; nil gates everything.
+	Gate *regexp.Regexp
+	// MaxNsRegress is the tolerated fractional ns/op increase (0.20 = 20%).
+	MaxNsRegress float64
+	// AllocsOnly skips the ns/op gate — for noisy machines where only the
+	// allocation counts are reproducible.
+	AllocsOnly bool
+}
+
+// allocSlack is the tolerated fractional allocs/op increase. For the
+// benchmarks the speed program cares about — 0 or 1 allocs/op — any
+// increase still trips the gate (0×slack and 1×slack both round below one
+// whole allocation). Benchmarks that allocate by design (the macro pair
+// builds an engine and 16k closures per iteration) get proportional slack,
+// because allocs/op at that scale wobbles by ±1 from runtime internals
+// (stack growth, map rehash timing) without any code change.
+const allocSlack = 0.001
+
+// Diff compares cur against base and returns every gated regression: an
+// ns/op increase beyond MaxNsRegress, an allocs/op increase beyond
+// allocSlack (zero tolerance at zero), or a gated benchmark that
+// disappeared. Benchmarks present only in cur are fine (the suite grows);
+// improvements are fine.
+func Diff(base, cur Report, cfg DiffConfig) []Regression {
+	var regs []Regression
+	for _, b := range base.Benchmarks {
+		if cfg.Gate != nil && !cfg.Gate.MatchString(b.Name) {
+			continue
+		}
+		n, ok := cur.Lookup(b.Name)
+		if !ok {
+			regs = append(regs, Regression{Name: b.Name, Metric: "missing"})
+			continue
+		}
+		if !cfg.AllocsOnly && b.NsPerOp > 0 && n.NsPerOp > b.NsPerOp*(1+cfg.MaxNsRegress) {
+			regs = append(regs, Regression{Name: b.Name, Metric: "ns/op", Base: b.NsPerOp, New: n.NsPerOp})
+		}
+		if n.AllocsPerOp > b.AllocsPerOp*(1+allocSlack) {
+			regs = append(regs, Regression{Name: b.Name, Metric: "allocs/op", Base: b.AllocsPerOp, New: n.AllocsPerOp})
+		}
+	}
+	return regs
+}

@@ -1,0 +1,192 @@
+package perf
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro/internal/perf
+cpu: whatever
+BenchmarkWireEncode-8   	  755810	      1565 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSimScheduleFire-8	 1000000	       120.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkMacroEngineCalendar-8	       1	 95000000 ns/op	10526315 events/sec	 4000000 B/op	      12 allocs/op
+PASS
+ok  	repro/internal/perf	3.2s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != Schema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	enc, ok := rep.Lookup("BenchmarkWireEncode")
+	if !ok {
+		t.Fatal("BenchmarkWireEncode not found (CPU suffix not stripped?)")
+	}
+	if enc.Runs != 755810 || enc.NsPerOp != 1565 || enc.AllocsPerOp != 0 {
+		t.Errorf("BenchmarkWireEncode parsed wrong: %+v", enc)
+	}
+	mac, _ := rep.Lookup("BenchmarkMacroEngineCalendar")
+	if mac.Metrics["events/sec"] != 10526315 {
+		t.Errorf("custom metric lost: %+v", mac.Metrics)
+	}
+	// Sorted by name.
+	for i := 1; i < len(rep.Benchmarks); i++ {
+		if rep.Benchmarks[i-1].Name > rep.Benchmarks[i].Name {
+			t.Errorf("benchmarks not sorted: %q before %q",
+				rep.Benchmarks[i-1].Name, rep.Benchmarks[i].Name)
+		}
+	}
+}
+
+func TestParseDuplicateNamesKeepBoth(t *testing.T) {
+	in := "BenchmarkX-8 10 5 ns/op\nBenchmarkX-4 10 7 ns/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d, want 2", len(rep.Benchmarks))
+	}
+	if _, ok := rep.Lookup("BenchmarkX#2"); !ok {
+		t.Error("duplicate not renamed to BenchmarkX#2")
+	}
+}
+
+func TestBestCollapsesRepeats(t *testing.T) {
+	in := "BenchmarkX-8 1000 50 ns/op 0 allocs/op\n" +
+		"BenchmarkX-8 1000 30 ns/op 2000000 events/sec 1 allocs/op\n" +
+		"BenchmarkX-8 1000 90 ns/op 0 allocs/op\n" +
+		"BenchmarkY-8 1000 7 ns/op\n"
+	rep, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best := rep.Best()
+	if len(best.Benchmarks) != 2 {
+		t.Fatalf("collapsed to %d benchmarks, want 2", len(best.Benchmarks))
+	}
+	x, ok := best.Lookup("BenchmarkX")
+	if !ok {
+		t.Fatal("BenchmarkX lost")
+	}
+	if x.NsPerOp != 30 {
+		t.Errorf("ns/op = %g, want min 30", x.NsPerOp)
+	}
+	if x.AllocsPerOp != 1 {
+		t.Errorf("allocs/op = %g, want max 1 (a run that allocates must not be hidden)", x.AllocsPerOp)
+	}
+	if x.Metrics["events/sec"] != 2000000 {
+		t.Errorf("metrics not taken from the min-ns run: %+v", x.Metrics)
+	}
+	if y, _ := best.Lookup("BenchmarkY"); y.NsPerOp != 7 {
+		t.Errorf("single-run benchmark changed: %+v", y)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost benchmarks: %d vs %d", len(back.Benchmarks), len(rep.Benchmarks))
+	}
+	for i := range back.Benchmarks {
+		a, b := rep.Benchmarks[i], back.Benchmarks[i]
+		if a.Name != b.Name || a.NsPerOp != b.NsPerOp || a.AllocsPerOp != b.AllocsPerOp {
+			t.Errorf("benchmark %d changed in round trip: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadJSONRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"other/v9","benchmarks":[]}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func mkReport(ns, allocs float64) Report {
+	return Report{Schema: Schema, Benchmarks: []Benchmark{
+		{Name: "BenchmarkGated", NsPerOp: ns, AllocsPerOp: allocs},
+		{Name: "BenchmarkFree", NsPerOp: 100, AllocsPerOp: 5},
+	}}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	gate := regexp.MustCompile("^BenchmarkGated$")
+	base := mkReport(100, 0)
+
+	if regs := Diff(base, mkReport(115, 0), DiffConfig{Gate: gate, MaxNsRegress: 0.20}); len(regs) != 0 {
+		t.Errorf("15%% slowdown under a 20%% gate flagged: %v", regs)
+	}
+	regs := Diff(base, mkReport(130, 0), DiffConfig{Gate: gate, MaxNsRegress: 0.20})
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Errorf("30%% slowdown not flagged: %v", regs)
+	}
+	// Ungated benchmark may regress freely.
+	cur := mkReport(100, 0)
+	cur.Benchmarks[1].NsPerOp = 1e9
+	if regs := Diff(base, cur, DiffConfig{Gate: gate, MaxNsRegress: 0.20}); len(regs) != 0 {
+		t.Errorf("ungated benchmark flagged: %v", regs)
+	}
+}
+
+func TestDiffAllocRegressionIsZeroTolerance(t *testing.T) {
+	gate := regexp.MustCompile("^BenchmarkGated$")
+	regs := Diff(mkReport(100, 0), mkReport(100, 1), DiffConfig{Gate: gate, MaxNsRegress: 0.20})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Errorf("single alloc regression not flagged: %v", regs)
+	}
+	// AllocsOnly still enforces allocations but ignores time.
+	regs = Diff(mkReport(100, 0), mkReport(500, 1), DiffConfig{Gate: gate, AllocsOnly: true})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Errorf("AllocsOnly: %v", regs)
+	}
+	// 1 -> 2 allocs is a 100% regression, far past the proportional slack.
+	regs = Diff(mkReport(100, 1), mkReport(100, 2), DiffConfig{Gate: gate})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Errorf("1->2 allocs not flagged: %v", regs)
+	}
+}
+
+func TestDiffAllocSlackForAllocatingBenchmarks(t *testing.T) {
+	// Benchmarks that allocate by design wobble by ±1 alloc/op from
+	// runtime internals; proportional slack absorbs that without opening
+	// a hole at 0 or 1 allocs/op.
+	gate := regexp.MustCompile("^BenchmarkGated$")
+	if regs := Diff(mkReport(100, 84506), mkReport(100, 84507), DiffConfig{Gate: gate}); len(regs) != 0 {
+		t.Errorf("single-alloc wobble at 84k allocs flagged: %v", regs)
+	}
+	regs := Diff(mkReport(100, 84506), mkReport(100, 85000), DiffConfig{Gate: gate})
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Errorf("0.6%% alloc growth not flagged: %v", regs)
+	}
+}
+
+func TestDiffMissingGatedBenchmark(t *testing.T) {
+	base := mkReport(100, 0)
+	cur := Report{Schema: Schema}
+	regs := Diff(base, cur, DiffConfig{Gate: regexp.MustCompile("^BenchmarkGated$")})
+	if len(regs) != 1 || regs[0].Metric != "missing" {
+		t.Errorf("missing gated benchmark not flagged: %v", regs)
+	}
+}

@@ -1,0 +1,228 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// eventScript is a deterministic random workload: a mix of schedules,
+// nested schedules, cancellations, and clustered timestamps designed to
+// push the calendar queue through resizes, cursor rewinds, and the sparse
+// direct-search fallback.
+func runScript(t *testing.T, seed int64, useHeap bool) []time.Duration {
+	t.Helper()
+	eng := NewEngine(seed)
+	if useHeap {
+		eng.UseHeapQueue()
+	}
+	var fired []time.Duration
+	rng := rand.New(rand.NewSource(seed + 1000))
+	var pendingHandles []*Event
+	var step func()
+	step = func() {
+		fired = append(fired, eng.Now())
+		if len(fired) >= 5000 {
+			return
+		}
+		// Fan out a burst of events at mixed scales: sub-microsecond
+		// clusters, millisecond spread, and the occasional far-future
+		// timer (which a naive width estimate would choke on).
+		for i := 0; i < 3; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				eng.Schedule(time.Duration(rng.Intn(50))*time.Nanosecond, step)
+			case 1:
+				pendingHandles = append(pendingHandles,
+					eng.Schedule(time.Duration(rng.Intn(1000))*time.Millisecond, func() {}))
+			case 2:
+				eng.Schedule(time.Hour+time.Duration(rng.Intn(100))*time.Second, func() {})
+			default:
+				eng.Schedule(time.Duration(rng.Intn(2000))*time.Microsecond, step)
+			}
+		}
+		if len(pendingHandles) > 20 {
+			for _, ev := range pendingHandles[:10] {
+				ev.Cancel()
+			}
+			pendingHandles = pendingHandles[10:]
+		}
+	}
+	eng.Schedule(0, step)
+	eng.ScheduleFunc(time.Microsecond, func() {})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return fired
+}
+
+// TestCalendarMatchesHeapOrder proves the two queue implementations yield
+// the exact same event sequence for an adversarial workload — the
+// determinism contract that lets the calendar queue replace the heap
+// without invalidating any same-seed fingerprint.
+func TestCalendarMatchesHeapOrder(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7, 42} {
+		cal := runScript(t, seed, false)
+		hp := runScript(t, seed, true)
+		if len(cal) != len(hp) {
+			t.Fatalf("seed %d: calendar fired %d events, heap %d", seed, len(cal), len(hp))
+		}
+		for i := range cal {
+			if cal[i] != hp[i] {
+				t.Fatalf("seed %d: event %d fired at %v under calendar, %v under heap",
+					seed, i, cal[i], hp[i])
+			}
+		}
+	}
+}
+
+func TestCalendarRunUntilResumeAndRewind(t *testing.T) {
+	eng := NewEngine(1)
+	var fired []time.Duration
+	record := func() { fired = append(fired, eng.Now()) }
+	eng.Schedule(10*time.Second, record)
+	if err := eng.RunUntil(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The cursor parked at the 10s event's window; scheduling near now
+	// must rewind it so the earlier event still fires first.
+	eng.Schedule(500*time.Millisecond, record) // at absolute 1.5s
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{1500 * time.Millisecond, 10 * time.Second}
+	if len(fired) != 2 || fired[0] != want[0] || fired[1] != want[1] {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+}
+
+func TestCalendarManySimultaneousEvents(t *testing.T) {
+	eng := NewEngine(1)
+	const n = 1000
+	var order []int
+	for i := 0; i < n; i++ {
+		i := i
+		eng.At(time.Second, func() { order = append(order, i) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != n {
+		t.Fatalf("fired %d events, want %d", len(order), n)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of insertion order at %d: got %d", i, v)
+		}
+	}
+}
+
+// TestScheduleFuncSteadyStateAllocs is the allocation regression gate for
+// the engine hot path: once the free list is primed, a schedule→fire cycle
+// through the pooled API must not allocate.
+func TestScheduleFuncSteadyStateAllocs(t *testing.T) {
+	eng := NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n%1000 != 0 {
+			eng.ScheduleFunc(time.Microsecond, tick)
+		}
+	}
+	// Prime the free list and the bucket arrays.
+	eng.ScheduleFunc(0, tick)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		eng.ScheduleFunc(time.Microsecond, tick)
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state ScheduleFunc→Run cycle allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestPooledEventsAreRecycled proves reuse actually happens (the free list
+// is not dead code) and that recycled events fire with the fresh callback
+// and time, never the stale ones.
+func TestPooledEventsAreRecycled(t *testing.T) {
+	eng := NewEngine(1)
+	firstDone := false
+	eng.ScheduleFunc(time.Millisecond, func() { firstDone = true })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !firstDone {
+		t.Fatal("first pooled event never fired")
+	}
+	secondAt := time.Duration(-1)
+	eng.ScheduleFunc(time.Millisecond, func() { secondAt = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if eng.recycled == 0 {
+		t.Error("free list never recycled an event")
+	}
+	if secondAt != 2*time.Millisecond {
+		t.Errorf("recycled event fired at %v, want 2ms", secondAt)
+	}
+}
+
+// TestPooledAndHandleEventsInterleave checks that pooled and handle-based
+// events share one sequence space: ties at the same instant still fire in
+// insertion order across both APIs.
+func TestPooledAndHandleEventsInterleave(t *testing.T) {
+	eng := NewEngine(1)
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		if i%2 == 0 {
+			eng.ScheduleFunc(time.Millisecond, func() { order = append(order, i) })
+		} else {
+			eng.Schedule(time.Millisecond, func() { order = append(order, i) })
+		}
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("mixed-API same-time events out of order at %d: got %d", i, v)
+		}
+	}
+}
+
+func TestUseHeapQueueAfterSchedulePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("UseHeapQueue after scheduling did not panic")
+		}
+	}()
+	eng := NewEngine(1)
+	eng.Schedule(time.Second, func() {})
+	eng.UseHeapQueue()
+}
+
+// TestCalendarSparseFallback drives the direct-search path: a handful of
+// events spread across hours, far sparser than any bucket lap.
+func TestCalendarSparseFallback(t *testing.T) {
+	eng := NewEngine(1)
+	var fired []time.Duration
+	for _, at := range []time.Duration{3 * time.Hour, time.Minute, 2 * time.Hour, time.Millisecond} {
+		at := at
+		eng.At(at, func() { fired = append(fired, eng.Now()) })
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Millisecond, time.Minute, 2 * time.Hour, 3 * time.Hour}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("sparse events fired %v, want %v", fired, want)
+		}
+	}
+}

@@ -1,38 +1,66 @@
 // Package sim provides a deterministic discrete-event simulation engine.
 //
 // The engine maintains a virtual clock (time.Duration since simulation
-// start), an event heap ordered by (time, insertion sequence), and a seeded
+// start), an event queue ordered by (time, insertion sequence), and a seeded
 // random number generator. All experiments in this repository are driven by
 // a single Engine instance, which makes every run reproducible bit-for-bit
 // for a given seed.
+//
+// Two event-queue implementations exist behind the same total order: the
+// default calendar queue (O(1) amortized schedule/fire, see calqueue.go) and
+// the original binary heap kept for cross-checking (UseHeapQueue). Because
+// (time, insertion sequence) is a strict total order, both produce the exact
+// same event sequence; a same-seed run fingerprints identically under
+// either.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ErrStopped is returned by Run when the engine was stopped explicitly
 // before the event queue drained.
 var ErrStopped = errors.New("sim: engine stopped")
 
+// eventQueue is a priority queue over the strict total order (at, seq).
+// Implementations must pop events in exactly that order; cancelled events
+// stay queued (the run loop skips them) until compact removes them.
+type eventQueue interface {
+	push(ev *Event)
+	// pop removes and returns the minimum event, or nil when empty.
+	pop() *Event
+	len() int
+	// compact removes all cancelled events, marking each done, and
+	// returns how many were removed.
+	compact() int
+}
+
 // Engine is a discrete-event simulator. The zero value is not usable; call
 // NewEngine. Engine is not safe for concurrent use: the simulation model is
 // strictly single-threaded, which is what makes it deterministic.
 type Engine struct {
 	now     time.Duration
-	events  eventHeap
+	q       eventQueue
 	seq     uint64
 	rng     *rand.Rand
 	stopped bool
 
 	// cancelled counts queued events whose Cancel has been called. When
-	// they exceed half the heap the engine compacts, so cancel-heavy
+	// they exceed half the queue the engine compacts, so cancel-heavy
 	// models (retransmit timers) stay O(live events).
 	cancelled int
+
+	// free is the Event free list for pooled (fire-and-forget) events.
+	// Only events created by ScheduleFunc/AtFunc are recycled: they never
+	// hand out a handle, so no caller can observe the reuse.
+	free []*Event
+	// recycled counts free-list reuses (for the obs gauge).
+	recycled uint64
 
 	// processed counts events executed so far (for limits and reporting).
 	processed uint64
@@ -40,11 +68,23 @@ type Engine struct {
 	maxEvents uint64
 }
 
-// NewEngine returns an engine whose random source is seeded with seed.
+// NewEngine returns an engine whose random source is seeded with seed. The
+// event queue is the calendar queue; see UseHeapQueue for the alternative.
 func NewEngine(seed int64) *Engine {
 	return &Engine{
 		rng: rand.New(rand.NewSource(seed)),
+		q:   newCalQueue(),
 	}
+}
+
+// UseHeapQueue switches the engine to the original container/heap event
+// queue. It exists so determinism tests can prove the calendar queue yields
+// byte-identical runs; it must be called before any event is scheduled.
+func (e *Engine) UseHeapQueue() {
+	if e.q.len() > 0 || e.seq > 0 {
+		panic("sim: UseHeapQueue after events were scheduled")
+	}
+	e.q = &heapQueue{}
 }
 
 // Now returns the current simulation time.
@@ -59,6 +99,16 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // SetMaxEvents aborts Run with an error after n events (0 disables the
 // limit). It is a safety valve for misconfigured experiments.
 func (e *Engine) SetMaxEvents(n uint64) { e.maxEvents = n }
+
+// Instrument registers the engine's event counters in reg as pull gauges
+// prefix+"events_processed", prefix+"events_pending", and
+// prefix+"events_recycled" (free-list reuses). Values are read at snapshot
+// time, so a registry exported mid-run shows live progress.
+func (e *Engine) Instrument(reg *obs.Registry, prefix string) {
+	reg.GaugeFunc(prefix+"events_processed", func() float64 { return float64(e.processed) })
+	reg.GaugeFunc(prefix+"events_pending", func() float64 { return float64(e.Pending()) })
+	reg.GaugeFunc(prefix+"events_recycled", func() float64 { return float64(e.recycled) })
+}
 
 // Schedule runs fn after delay units of simulated time. A negative delay is
 // treated as zero (run at the current time, after already-pending events at
@@ -81,35 +131,58 @@ func (e *Engine) At(t time.Duration, fn func()) *Event {
 	}
 	ev := &Event{at: t, seq: e.seq, fn: fn, eng: e}
 	e.seq++
-	heap.Push(&e.events, ev)
+	e.q.push(ev)
 	return ev
 }
 
-// compactThreshold is the minimum heap size before cancellation-triggered
+// ScheduleFunc runs fn after delay units of simulated time, like Schedule,
+// but returns no handle: the event cannot be cancelled, and in exchange its
+// Event object comes from a free list and is recycled after it fires. This
+// is the zero-allocation path for hot fire-and-forget work (packet
+// transmissions, deliveries); steady-state scheduling through it does not
+// grow the heap.
+func (e *Engine) ScheduleFunc(delay time.Duration, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.AtFunc(e.now+delay, fn)
+}
+
+// AtFunc runs fn at absolute simulation time t with the pooled
+// fire-and-forget semantics of ScheduleFunc.
+func (e *Engine) AtFunc(t time.Duration, fn func()) {
+	if fn == nil {
+		panic("sim: AtFunc called with nil callback")
+	}
+	if t < e.now {
+		t = e.now
+	}
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		e.recycled++
+		*ev = Event{at: t, seq: e.seq, fn: fn, eng: e, pooled: true}
+	} else {
+		ev = &Event{at: t, seq: e.seq, fn: fn, eng: e, pooled: true}
+	}
+	e.seq++
+	e.q.push(ev)
+}
+
+// compactThreshold is the minimum queue size before cancellation-triggered
 // compaction kicks in; below it a rebuild costs more than it saves.
 const compactThreshold = 32
 
-// maybeCompact rebuilds the heap without cancelled events once they
-// outnumber live ones. Rebuilding preserves determinism: the heap order is
+// maybeCompact rebuilds the queue without cancelled events once they
+// outnumber live ones. Rebuilding preserves determinism: the queue order is
 // the total order (at, seq), so any rebuild yields the same pop sequence.
 func (e *Engine) maybeCompact() {
-	if len(e.events) < compactThreshold || 2*e.cancelled <= len(e.events) {
+	if e.q.len() < compactThreshold || 2*e.cancelled <= e.q.len() {
 		return
 	}
-	live := e.events[:0]
-	for _, ev := range e.events {
-		if ev.cancelled {
-			ev.done = true
-			continue
-		}
-		live = append(live, ev)
-	}
-	for i := len(live); i < len(e.events); i++ {
-		e.events[i] = nil
-	}
-	e.events = live
-	e.cancelled = 0
-	heap.Init(&e.events)
+	e.cancelled -= e.q.compact()
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -131,28 +204,40 @@ func (e *Engine) RunUntil(deadline time.Duration) error {
 
 func (e *Engine) run(deadline time.Duration) error {
 	e.stopped = false
-	for len(e.events) > 0 {
+	for {
 		if e.stopped {
 			return ErrStopped
 		}
-		next := e.events[0]
+		next := e.q.pop()
+		if next == nil {
+			break
+		}
 		if deadline >= 0 && next.at > deadline {
+			// Reinsertion keeps (at, seq) intact, so the resumed run pops
+			// the same order as an uninterrupted one.
+			e.q.push(next)
 			e.now = deadline
 			return nil
 		}
-		heap.Pop(&e.events)
+		next.done = true
 		if next.cancelled {
-			next.done = true
 			e.cancelled--
 			continue
 		}
-		next.done = true
 		e.now = next.at
 		e.processed++
 		if e.maxEvents > 0 && e.processed > e.maxEvents {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.maxEvents, e.now)
 		}
-		next.fn()
+		fn := next.fn
+		if next.pooled {
+			// Safe to recycle before fn runs: pooled events hand out no
+			// handle, so fn (or anything it schedules) may immediately
+			// reuse the object without anyone observing the identity.
+			next.fn = nil
+			e.free = append(e.free, next)
+		}
+		fn()
 	}
 	if deadline >= 0 && e.now < deadline {
 		e.now = deadline
@@ -162,7 +247,10 @@ func (e *Engine) run(deadline time.Duration) error {
 
 // Pending returns the number of live (not cancelled) events currently
 // queued.
-func (e *Engine) Pending() int { return len(e.events) - e.cancelled }
+func (e *Engine) Pending() int { return e.q.len() - e.cancelled }
+
+// queueLen exposes the raw queue size (cancelled events included) to tests.
+func (e *Engine) queueLen() int { return e.q.len() }
 
 // Event is a handle to a scheduled callback.
 type Event struct {
@@ -171,7 +259,11 @@ type Event struct {
 	fn        func()
 	eng       *Engine
 	cancelled bool
-	// done marks an event that has left the heap (fired, skipped, or
+	// pooled marks a fire-and-forget event created by ScheduleFunc/AtFunc:
+	// no handle exists, so the object returns to the engine free list when
+	// it fires.
+	pooled bool
+	// done marks an event that has left the queue (fired, skipped, or
 	// compacted away), so a late Cancel cannot skew the engine's
 	// cancelled-event accounting.
 	done bool
@@ -194,30 +286,10 @@ func (ev *Event) Cancelled() bool { return ev.cancelled }
 // Time returns the simulation time at which the event fires.
 func (ev *Event) Time() time.Duration { return ev.at }
 
-// eventHeap is a min-heap ordered by (at, seq) so that events scheduled for
-// the same instant execute in insertion order.
-type eventHeap []*Event
-
-var _ heap.Interface = (*eventHeap)(nil)
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether ev precedes other in the engine's total order.
+func (ev *Event) before(other *Event) bool {
+	if ev.at != other.at {
+		return ev.at < other.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*Event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	return ev.seq < other.seq
 }

@@ -335,8 +335,8 @@ func TestEngineCompactsCancelledEvents(t *testing.T) {
 	if got := eng.Pending(); got != 30 {
 		t.Errorf("Pending() = %d, want 30", got)
 	}
-	if got := len(eng.events); got >= 70 {
-		t.Errorf("heap still holds %d entries after cancelling 70 of %d; compaction did not run", got, n)
+	if got := eng.queueLen(); got >= 70 {
+		t.Errorf("queue still holds %d entries after cancelling 70 of %d; compaction did not run", got, n)
 	}
 	// A cancel after compaction already discarded the event stays a no-op.
 	evs[0].Cancel()

@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/packet"
+)
+
+// TestAppendDatagramZeroAllocs is the allocation regression gate for the
+// encode hot path: with a pre-sized destination buffer, encoding must not
+// touch the heap.
+func TestAppendDatagramZeroAllocs(t *testing.T) {
+	h := sampleHeader()
+	payload := bytes.Repeat([]byte{0xAB}, 1000)
+	buf := make([]byte, 0, MaxDatagram)
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		buf, err = AppendDatagram(buf[:0], h, payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("AppendDatagram allocates %.1f/op into a sized buffer, want 0", allocs)
+	}
+}
+
+// TestDecodeDatagramZeroAllocs: decode returns a value header and a payload
+// aliasing the input, so it must not allocate either.
+func TestDecodeDatagramZeroAllocs(t *testing.T) {
+	b, err := EncodeDatagram(sampleHeader(), bytes.Repeat([]byte{0xCD}, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, _, err := DecodeDatagram(b); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("DecodeDatagram allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestAppendDatagramSinglePassCRCMatchesCrcOf pins the encode checksum to
+// the three-part definition the verifiers use: the single-pass shortcut is
+// only valid because the CRC field is zero at encode time.
+func TestAppendDatagramSinglePassCRCMatchesCrcOf(t *testing.T) {
+	for _, h := range []Header{
+		sampleHeader(),
+		{Type: TypeFeedback, Color: packet.ACK, Seq: 9,
+			Feedback: packet.Feedback{RouterID: 4, Epoch: 2, Loss: 0.125, Valid: true}},
+		{Type: TypeHello, Color: packet.ACK},
+	} {
+		b, err := EncodeDatagram(h, []byte("payload bytes"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := DecodeDatagram(b); err != nil {
+			t.Errorf("%v datagram rejected by its own checksum: %v", h.Type, err)
+		}
+	}
+}

@@ -101,11 +101,15 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // accounting — corruption becomes loss, which the control loops already
 // handle.
 func crcOf(b []byte) uint32 {
-	var zero [4]byte
 	sum := crc32.Update(0, crcTable, b[:offCRC])
-	sum = crc32.Update(sum, crcTable, zero[:])
+	sum = crc32.Update(sum, crcTable, crcZero[:])
 	return crc32.Update(sum, crcTable, b[offCRC+4:])
 }
+
+// crcZero stands in for the zeroed checksum field during verification; it
+// lives at package scope because escape analysis cannot see through the
+// hardware-accelerated crc32.Update and would heap-allocate a local.
+var crcZero [4]byte
 
 // patchCRC recomputes and writes the checksum of an encoded datagram.
 // Every in-place mutation (StampFeedback, ClearFeedback) must call it
@@ -161,29 +165,34 @@ func AppendDatagram(dst []byte, h Header, payload []byte) ([]byte, error) {
 	if len(payload) > MaxPayload {
 		return dst, fmt.Errorf("%w: %d bytes", ErrOversized, len(payload))
 	}
-	var hdr [HeaderSize]byte
-	binary.BigEndian.PutUint32(hdr[offMagic:], Magic)
-	hdr[offVersion] = VersionV1
-	hdr[offType] = uint8(h.Type)
-	hdr[offColor] = uint8(h.Color)
-	if h.Feedback.Valid {
-		hdr[offFlags] = flagFeedbackValid
-	}
-	binary.BigEndian.PutUint32(hdr[offFlow:], h.Flow)
-	binary.BigEndian.PutUint32(hdr[offFrame:], h.Frame)
-	binary.BigEndian.PutUint16(hdr[offIndex:], h.Index)
-	binary.BigEndian.PutUint16(hdr[offPayload:], uint16(len(payload)))
-	binary.BigEndian.PutUint64(hdr[offSeq:], h.Seq)
-	binary.BigEndian.PutUint64(hdr[offTimestamp:], uint64(h.Timestamp))
-	binary.BigEndian.PutUint32(hdr[offRouterID:], uint32(int32(h.Feedback.RouterID)))
-	binary.BigEndian.PutUint64(hdr[offEpoch:], h.Feedback.Epoch)
-	binary.BigEndian.PutUint64(hdr[offLoss:], math.Float64bits(h.Feedback.Loss))
 	start := len(dst)
-	dst = append(dst, hdr[:]...)
+	dst = append(dst, zeroHeader[:]...)
+	b := dst[start:]
+	binary.BigEndian.PutUint32(b[offMagic:], Magic)
+	b[offVersion] = VersionV1
+	b[offType] = uint8(h.Type)
+	b[offColor] = uint8(h.Color)
+	if h.Feedback.Valid {
+		b[offFlags] = flagFeedbackValid
+	}
+	binary.BigEndian.PutUint32(b[offFlow:], h.Flow)
+	binary.BigEndian.PutUint32(b[offFrame:], h.Frame)
+	binary.BigEndian.PutUint16(b[offIndex:], h.Index)
+	binary.BigEndian.PutUint16(b[offPayload:], uint16(len(payload)))
+	binary.BigEndian.PutUint64(b[offSeq:], h.Seq)
+	binary.BigEndian.PutUint64(b[offTimestamp:], uint64(h.Timestamp))
+	binary.BigEndian.PutUint32(b[offRouterID:], uint32(int32(h.Feedback.RouterID)))
+	binary.BigEndian.PutUint64(b[offEpoch:], h.Feedback.Epoch)
+	binary.BigEndian.PutUint64(b[offLoss:], math.Float64bits(h.Feedback.Loss))
 	dst = append(dst, payload...)
-	patchCRC(dst[start:])
+	// The CRC field is still zero, so one pass over the whole datagram
+	// computes exactly the checksum definition crcOf implements with three.
+	binary.BigEndian.PutUint32(dst[start+offCRC:], crc32.Update(0, crcTable, dst[start:]))
 	return dst, nil
 }
+
+// zeroHeader reserves header space in AppendDatagram without a temporary.
+var zeroHeader [HeaderSize]byte
 
 // EncodeDatagram is AppendDatagram into a fresh buffer.
 func EncodeDatagram(h Header, payload []byte) ([]byte, error) {

@@ -137,6 +137,26 @@ type Receiver struct {
 	obsFeedback  *obs.Counter
 	obsErrors    *obs.Counter
 	obsProbes    *obs.Counter
+
+	// Echo write path: wmu serializes encode+send so encBuf can be
+	// reused across echoes instead of allocating one buffer per ACK.
+	wmu    sync.Mutex
+	encBuf []byte
+}
+
+// sendEcho encodes h into the reusable echo buffer and writes it to peer.
+// Encode errors and write errors are dropped on the floor like the rest of
+// the datagram path: feedback is redundant by design (paper §5.2), the next
+// labeled packet triggers another echo.
+func (r *Receiver) sendEcho(h Header, peer net.Addr) {
+	r.wmu.Lock()
+	defer r.wmu.Unlock()
+	b, err := AppendDatagram(r.encBuf[:0], h, nil)
+	if err != nil {
+		return
+	}
+	r.encBuf = b
+	_, _ = r.conn.WriteTo(b, peer)
 }
 
 // NewReceiver builds a receiver on conn. The conn is borrowed, not
@@ -251,9 +271,7 @@ func (r *Receiver) maybeProbe(now time.Time) {
 	peer := r.peer
 	r.mu.Unlock()
 
-	if b, err := EncodeDatagram(echo, nil); err == nil {
-		_, _ = r.conn.WriteTo(b, peer)
-	}
+	r.sendEcho(echo, peer)
 }
 
 // Handle processes one raw datagram (exported so tests can drive the
@@ -352,9 +370,7 @@ func (r *Receiver) Handle(b []byte, from net.Addr, now time.Time) {
 	r.mu.Unlock()
 
 	if echo != nil && peer != nil {
-		if b, err := EncodeDatagram(*echo, nil); err == nil {
-			_, _ = r.conn.WriteTo(b, peer)
-		}
+		r.sendEcho(*echo, peer)
 	}
 }
 
