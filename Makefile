@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test test-short race fmt-check ci bench bench-json perfdiff repro cover fuzz chaos smoke obs-demo clean
+.PHONY: all build vet lint test test-short race fmt-check ci bench bench-json perfdiff repro cover fuzz chaos smoke load obs-demo clean
 
 all: build vet lint test
 
@@ -49,8 +49,8 @@ bench:
 # repeated -count times; perfdiff -emit -best keeps the min-ns/max-allocs
 # figure of the repeats, the noise-robust statistic for gating. The
 # repo-level figure benchmarks run once and are recorded, not gated.
-BENCH_V      := 6
-BENCH_MICRO  := ^Benchmark(Wire|Gateway|Pacer|Sim|Netsim)
+BENCH_V      := 7
+BENCH_MICRO  := ^Benchmark(Wire|Gateway|Pacer|Sim|Netsim|Session)
 BENCH_MACRO  := ^BenchmarkMacro
 # Gated names must all exist in every fresh report the CI bench job makes
 # (it only re-runs ./internal/perf), so the gate spells out the perf-package
@@ -58,7 +58,7 @@ BENCH_MACRO  := ^BenchmarkMacro
 # BenchmarkSimulatorThroughput. MacroEngineSeedHeap is recorded but not
 # gated: it benchmarks the retained *reference* implementation (GC-heavy,
 # load-sensitive), and the gate protects the paths the repo actually runs.
-BENCH_GATE   := ^Benchmark(Wire|GatewayMark|PacerReserve|Sim(Heap)?Schedule|NetsimTransit|MacroEngineCalendar)
+BENCH_GATE   := ^Benchmark(Wire|GatewayMark|PacerReserve|Sim(Heap)?Schedule|NetsimTransit|MacroEngineCalendar|Session(TableLookup|WheelAdvance|FeedbackBatch))
 
 define BENCH_RUN
 { go test -run '^$$' -bench '$(BENCH_MICRO)' -benchtime=1000x -count=10 -benchmem ./internal/perf && \
@@ -102,6 +102,24 @@ smoke:
 	/tmp/pelsd -addr 127.0.0.1:9000 -frames 200 -duration 30s & \
 	sleep 1; /tmp/pelsget -addr 127.0.0.1:9000 -duration 20s -max-green-loss 0; \
 	wait
+
+# Multi-session load smoke: one pelsd, 500 pelsload receivers sharing the
+# loopback bottleneck (the CI load-smoke job). The frame geometry keeps the
+# green base layer a small slice of each frame so the structural MKC
+# overload (p = α/(β·r) at equilibrium) lands entirely on droppable
+# enhancement packets — the gate is zero green loss across all 500
+# sessions, everyone streaming, no cross-session bleed.
+load:
+	go build -o /tmp/pelsd ./cmd/pelsd
+	go build -o /tmp/pelsload ./cmd/pelsload
+	( /tmp/pelsd -addr 127.0.0.1:9100 -debug 127.0.0.1:9101 \
+		-capacity 30mbps -queue 60000 -epoch 50ms \
+		-frame-interval 60ms -green 1 -alpha 2kbps -initial-rate 100kbps \
+		-frames 0 -duration 25s & ); \
+	sleep 1; /tmp/pelsload -addr 127.0.0.1:9100 -sessions 500 \
+		-duration 12s -ramp 2s \
+		-scrape http://127.0.0.1:9101 -shards-out /tmp/pels-shards.json \
+		-max-green-loss 0 -min-streams 500 -assert-isolation
 
 # Observability demo: run one experiment, export every recorded series
 # (rate, loss, gamma, per-color drops) through internal/obs, and plot

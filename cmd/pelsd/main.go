@@ -1,11 +1,17 @@
-// Command pelsd streams PELS-labeled FGS video over real UDP.
+// Command pelsd streams PELS-labeled FGS video over real UDP to every
+// receiver that says hello.
 //
-// It listens for a hello datagram from pelsget, then streams MaxFrames
-// frames to that peer. Outbound datagrams pass through an in-process
-// software bottleneck (wire.ShapedConn) whose marking gateway stamps
-// eq. 11 loss labels and enforces the PELS drop priorities — so a
-// single host pair observes the same congestion dynamics the simulator
-// models, without root privileges or qdisc setup.
+// pelsd is a multi-session server: each hello datagram (keyed by peer
+// address + flow ID) admits an independent session with its own MKC
+// rate controller, γ red-fraction controller, and per-color sequence
+// spaces. All sessions share one UDP socket, one demux loop, and one
+// in-process software bottleneck (wire.ShapedConn) whose marking
+// gateway stamps eq. 11 loss labels and enforces the PELS drop
+// priorities — so a single host observes the same multi-flow congestion
+// dynamics the simulator models, without root privileges or qdisc
+// setup. Pacing runs on a shared timing wheel driven by a small fixed
+// goroutine pool, so the goroutine count does not grow with the number
+// of receivers (see internal/session).
 //
 // Usage:
 //
@@ -13,19 +19,26 @@
 //	      [-duration 0] [-epoch 10ms] [-queue 3000] [-link-delay 0]
 //	      [-packet 100] [-frame-packets 80] [-green 8]
 //	      [-frame-interval 10ms] [-alpha 150kbps] [-beta 0.5]
-//	      [-initial-rate 500kbps] [-flow 1] [-debug 127.0.0.1:9100]
+//	      [-initial-rate 500kbps] [-flow 0] [-shards 8]
+//	      [-max-sessions 8192] [-idle-timeout 10s] [-drain 5s]
+//	      [-workers 4] [-debug 127.0.0.1:9100]
 //	      [-chaos] [-chaos-seed 1] [-stale-timeout 0]
 //
-// With -chaos, the bottleneck runs the canned fault plan
-// (fault.DefaultChaosPlan): burst loss, a link flap, feedback
-// starvation, corruption, duplication, and reordering, all seeded by
-// -chaos-seed. With -stale-timeout, the sender's watchdog decays the
-// rate multiplicatively whenever feedback goes quiet for that horizon.
+// With -frames N, each session streams N frames and closes; pelsd exits
+// once at least one session was admitted and all of them have finished.
+// With -frames 0, sessions stream until the receiver goes silent for
+// -idle-timeout and pelsd serves until -duration or a signal.
+//
+// On SIGINT or SIGTERM pelsd drains instead of dropping mid-frame: new
+// hellos are refused, every live session finishes the frame in flight,
+// and the bottleneck flushes, bounded by the -drain grace period.
 //
 // With -debug ADDR, pelsd serves live observability over HTTP while
 // streaming: /debug/vars is an expvar-style JSON snapshot of the
-// gateway and sender metrics, /debug/series dumps the recorded rate
-// and gamma series, and /debug/pprof/ exposes the standard profiles.
+// gateway and aggregate session metrics, /debug/shards breaks the
+// session table down per shard (sessions, summed rate, mean γ),
+// /debug/series dumps recorded series, and /debug/pprof/ exposes the
+// standard profiles.
 package main
 
 import (
@@ -37,12 +50,14 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/cc"
 	"repro/internal/fault"
 	"repro/internal/fgs"
 	"repro/internal/obs"
+	"repro/internal/session"
 	"repro/internal/units"
 	"repro/internal/wire"
 )
@@ -57,8 +72,8 @@ func main() {
 func run() error {
 	addr := flag.String("addr", "127.0.0.1:9000", "UDP address to listen on")
 	capacity := flag.String("capacity", "3mbps", "software bottleneck bandwidth")
-	frames := flag.Int("frames", 300, "frames to stream (0 = until -duration or interrupt)")
-	duration := flag.Duration("duration", 0, "overall wall-clock limit (0 = none)")
+	frames := flag.Int("frames", 300, "frames each session streams (0 = until reaped or drained)")
+	duration := flag.Duration("duration", 0, "overall wall-clock limit; pelsd drains when it expires (0 = none)")
 	epoch := flag.Duration("epoch", 10*time.Millisecond, "gateway feedback epoch")
 	queue := flag.Int("queue", 3000, "bottleneck queue bytes")
 	linkDelay := flag.Duration("link-delay", 0, "bottleneck one-way delay")
@@ -69,12 +84,17 @@ func run() error {
 	alpha := flag.String("alpha", "150kbps", "MKC additive step")
 	beta := flag.Float64("beta", 0.5, "MKC multiplicative gain")
 	initialRate := flag.String("initial-rate", "500kbps", "MKC starting rate")
-	flow := flag.Uint("flow", 1, "flow identifier")
-	debugAddr := flag.String("debug", "", "HTTP address serving /debug/vars, /debug/series and /debug/pprof/ (empty = off)")
+	flow := flag.Uint("flow", 0, "admit only this flow ID (0 = any)")
+	shards := flag.Int("shards", 8, "session-table shard count")
+	maxSessions := flag.Int("max-sessions", 8192, "concurrent session limit; extra hellos are refused")
+	idleTimeout := flag.Duration("idle-timeout", 10*time.Second, "reap sessions silent for this long")
+	drainGrace := flag.Duration("drain", 5*time.Second, "graceful drain budget on signal or -duration expiry")
+	workers := flag.Int("workers", 4, "session pump goroutine pool size")
+	debugAddr := flag.String("debug", "", "HTTP address serving /debug/vars, /debug/shards, /debug/series and /debug/pprof/ (empty = off)")
 	chaos := flag.Bool("chaos", false, "inject the canned fault plan into the bottleneck (burst loss, corruption, link flaps)")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault plan")
 	staleTimeout := flag.Duration("stale-timeout", 0,
-		"decay the sending rate when no feedback arrives for this long (0 = off)")
+		"decay a session's rate when its feedback goes quiet for this long (0 = off)")
 	flag.Parse()
 
 	cap, err := units.ParseBitRate(*capacity)
@@ -95,16 +115,6 @@ func run() error {
 		return err
 	}
 	reg := obs.NewRegistry()
-	if *debugAddr != "" {
-		ln, err := net.Listen("tcp", *debugAddr)
-		if err != nil {
-			return fmt.Errorf("-debug: %w", err)
-		}
-		srv := &http.Server{Handler: obs.DebugMux(reg)}
-		go func() { _ = srv.Serve(ln) }()
-		defer srv.Close()
-		fmt.Fprintf(os.Stderr, "pelsd: debug HTTP on http://%s/debug/vars\n", ln.Addr())
-	}
 	gw := wire.NewGateway(wire.GatewayConfig{
 		RouterID: 1,
 		Interval: *epoch,
@@ -126,24 +136,7 @@ func run() error {
 	shaped := wire.NewShapedConn(conn, linkCfg)
 	defer shaped.Close() // drains the bottleneck, then closes conn
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
-	if *duration > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *duration)
-		defer cancel()
-	}
-
-	fmt.Fprintf(os.Stderr, "pelsd: listening on %s, bottleneck %v, waiting for a receiver\n",
-		conn.LocalAddr(), cap)
-	peer, err := awaitHello(ctx, conn, uint32(*flow))
-	if err != nil {
-		return err
-	}
-	fmt.Fprintf(os.Stderr, "pelsd: streaming to %s\n", peer)
-
-	sender, err := wire.NewSender(shaped, peer, wire.SenderConfig{
-		Flow: uint32(*flow),
+	sessCfg := session.Config{
 		Frame: fgs.FrameSpec{
 			PacketSize:   *pktSize,
 			TotalPackets: *framePkts,
@@ -158,82 +151,115 @@ func run() error {
 			DedupEpochs: true,
 		},
 		MaxFrames:    *frames,
-		Obs:          reg,
 		StaleTimeout: *staleTimeout,
-	})
+	}
+	srvCfg := session.ServerConfig{
+		Conn:         conn,
+		Out:          shaped,
+		Clock:        wire.SystemClock{},
+		Session:      sessCfg,
+		Shards:       *shards,
+		MaxSessions:  *maxSessions,
+		IdleTimeout:  *idleTimeout,
+		Workers:      *workers,
+		ExitWhenIdle: *frames > 0,
+		Obs:          reg,
+	}
+	if *flow != 0 {
+		want := uint32(*flow)
+		srvCfg.Tune = func(k session.Key, c *session.Config) {
+			if k.Flow != want {
+				// Reject by invalidating the config: foreign flows are
+				// refused at admission.
+				c.Frame.PacketSize = -1
+			}
+		}
+	}
+	srv, err := session.NewServer(srvCfg)
 	if err != nil {
 		return err
 	}
 
-	// Demultiplex the raw socket: the sender writes through the shaped
-	// bottleneck, but feedback arrives on the underlying conn directly.
-	demuxDone := make(chan struct{})
-	go func() {
-		defer close(demuxDone)
-		demux(ctx, conn, sender)
-	}()
+	if *debugAddr != "" {
+		ln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("-debug: %w", err)
+		}
+		mux := obs.DebugMux(reg)
+		obs.HandleGroups(mux, "/debug/shards", func() map[string]*obs.Registry {
+			regs := srv.Table().Registries()
+			out := make(map[string]*obs.Registry, len(regs))
+			for i, r := range regs {
+				out[fmt.Sprintf("shard%02d", i)] = r
+			}
+			return out
+		})
+		dbg := &http.Server{Handler: mux}
+		go func() {
+			// Serve always returns non-nil; only a deliberate Shutdown is
+			// routine. Anything else means the observability endpoint died
+			// mid-run — say so instead of swallowing it.
+			if err := dbg.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(os.Stderr, "pelsd: debug server: %v\n", err)
+			}
+		}()
+		defer func() {
+			sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			defer cancel()
+			_ = dbg.Shutdown(sctx)
+		}()
+		fmt.Fprintf(os.Stderr, "pelsd: debug HTTP on http://%s/debug/vars\n", ln.Addr())
+	}
 
-	runErr := sender.Run(ctx)
-	stop()
-	<-demuxDone
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	runCtx, runCancel := context.WithCancel(context.Background())
+	defer runCancel()
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Run(runCtx) }()
 
-	st := sender.Stats()
-	fmt.Printf("frames=%d datagrams=%d bytes=%d feedback_accepted=%d rate_bps=%.0f gamma=%.4f last_loss=%.4f\n",
-		st.Frames, st.Datagrams, st.Bytes, st.FeedbackAccepted,
-		float64(st.Rate), st.Gamma, st.LastLoss)
+	var timeoutC <-chan time.Time
+	if *duration > 0 {
+		tm := time.NewTimer(*duration)
+		defer tm.Stop()
+		timeoutC = tm.C
+	}
+
+	fmt.Fprintf(os.Stderr, "pelsd: listening on %s, bottleneck %v, up to %d sessions across %d shards\n",
+		conn.LocalAddr(), cap, *maxSessions, *shards)
+
+	var runErr error
+	select {
+	case runErr = <-errCh:
+		// Idle exit (all sessions done) or a socket failure.
+	case <-sigCtx.Done():
+		drain(srv, *drainGrace, "signal")
+		runCancel()
+		runErr = <-errCh
+	case <-timeoutC:
+		drain(srv, *drainGrace, "duration limit")
+		runCancel()
+		runErr = <-errCh
+	}
+
+	st := srv.Stats()
+	fmt.Printf("sessions=%d completed=%d reaped=%d rejected=%d datagrams=%d bytes=%d feedback=%d batches=%d\n",
+		st.Admitted, st.Completed, st.Reaped, st.Rejected,
+		st.Datagrams, st.Bytes, st.FeedbackItems, st.FeedbackBatches)
 	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
 		return runErr
 	}
 	return nil
 }
 
-// awaitHello blocks until a hello datagram for flow arrives, returning
-// the peer's address.
-func awaitHello(ctx context.Context, conn net.PacketConn, flow uint32) (net.Addr, error) {
-	buf := make([]byte, wire.MaxDatagram+1)
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, fmt.Errorf("no receiver connected: %w", err)
-		}
-		_ = conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-		n, from, err := conn.ReadFrom(buf)
-		if err != nil {
-			if errors.Is(err, os.ErrDeadlineExceeded) {
-				continue
-			}
-			return nil, err
-		}
-		h, _, err := wire.DecodeDatagram(buf[:n])
-		if err != nil || h.Type != wire.TypeHello {
-			continue
-		}
-		if flow != 0 && h.Flow != 0 && h.Flow != flow {
-			continue
-		}
-		return from, nil
-	}
-}
-
-// demux feeds feedback datagrams from the raw socket to the sender
-// until ctx is canceled. Duplicate hellos and noise are ignored.
-func demux(ctx context.Context, conn net.PacketConn, sender *wire.Sender) {
-	buf := make([]byte, wire.MaxDatagram+1)
-	for {
-		if ctx.Err() != nil {
-			return
-		}
-		_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
-		n, _, err := conn.ReadFrom(buf)
-		if err != nil {
-			if errors.Is(err, os.ErrDeadlineExceeded) {
-				continue
-			}
-			return
-		}
-		h, _, err := wire.DecodeDatagram(buf[:n])
-		if err != nil || h.Type != wire.TypeFeedback {
-			continue
-		}
-		sender.HandleFeedback(h.Feedback)
+// drain refuses new hellos and lets live sessions finish their frame in
+// flight, bounded by grace.
+func drain(srv *session.Server, grace time.Duration, why string) {
+	n := srv.Table().Len()
+	fmt.Fprintf(os.Stderr, "pelsd: %s: draining %d session(s) (grace %v)\n", why, n, grace)
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		fmt.Fprintf(os.Stderr, "pelsd: %v\n", err)
 	}
 }

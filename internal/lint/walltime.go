@@ -26,6 +26,11 @@ var deterministicPkgs = map[string]bool{
 	"stats":        true,
 	"obs":          true,
 	"fault":        true,
+	// session is walltime-clean by construction: every instant arrives as
+	// an argument or through an injected Clock (wire.SystemClock in
+	// production), so the wheel/table/batcher core is testable on a
+	// virtual clock.
+	"session": true,
 }
 
 // walltimeBanned lists the package time functions that read or wait on the
@@ -52,7 +57,7 @@ var WallTime = &Analyzer{
 	Name: "walltime",
 	Doc: "forbid time.Now/Sleep/After/Since and timer constructors in the " +
 		"deterministic simulation packages (sim, netsim, queue, aqm, cc, pels, " +
-		"fgs, crosstraffic, tcp, video, stats, obs, fault); only internal/wire, " +
+		"fgs, crosstraffic, tcp, video, stats, obs, fault, session); only internal/wire, " +
 		"internal/runner, and cmd/ may touch the wall clock",
 	Run: runWallTime,
 }
@@ -70,6 +75,11 @@ func runWallTime(pass *Pass) {
 			obj := pass.Info.Uses[sel.Sel]
 			fn, ok := obj.(*types.Func)
 			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+				return true
+			}
+			// Methods on time.Time (t.After, t.Sub, ...) are pure value
+			// arithmetic; only the package-level functions read the clock.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 				return true
 			}
 			if walltimeBanned[fn.Name()] {

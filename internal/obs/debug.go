@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"encoding/json"
 	"net/http"
 	"net/http/pprof"
 )
@@ -34,4 +35,25 @@ func DebugMux(reg *Registry) *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+// HandleGroups registers path on mux to serve a JSON object mapping each
+// group name to that registry's flat snapshot. groups is re-evaluated per
+// request, so callers can expose registries created after the mux —
+// pelsd's /debug/shards serves the per-shard session registries this way,
+// making shard saturation visible without merging shards into one
+// namespace.
+func HandleGroups(mux *http.ServeMux, path string, groups func() map[string]*Registry) {
+	mux.HandleFunc(path, func(w http.ResponseWriter, _ *http.Request) {
+		out := make(map[string]map[string]float64)
+		for name, reg := range groups() {
+			out[name] = reg.Snapshot()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 }

@@ -1,0 +1,115 @@
+package perf
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/session"
+)
+
+// Session subsystem benchmarks: the three per-packet/per-wake hot paths
+// the multi-session server leans on — table lookup (every feedback
+// datagram), wheel advance (every pacing tick), and batched feedback
+// dispatch (every flush). All three must stay allocation-free in steady
+// state or ten thousand sessions turn the GC into the bottleneck.
+
+// benchSink discards session output.
+type benchSink struct{}
+
+func (benchSink) WriteTo(b []byte, _ net.Addr) (int, error) { return len(b), nil }
+
+func benchSession(b *testing.B, key session.Key, now time.Time) *session.Session {
+	b.Helper()
+	cfg := session.Config{}.WithDefaults()
+	if err := cfg.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	s, err := session.NewSession(key, &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9}, benchSink{}, cfg, now)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSessionTableLookup measures Table.Get against a table of 4096
+// live sessions across 16 shards — the per-feedback-datagram path.
+func BenchmarkSessionTableLookup(b *testing.B) {
+	now := time.Unix(1700000000, 0)
+	tb := session.NewTable(16)
+	const n = 4096
+	keys := make([]session.Key, n)
+	for i := 0; i < n; i++ {
+		keys[i] = session.Key{
+			Addr: fmt.Sprintf("10.%d.%d.%d:%d", i>>16&255, i>>8&255, i&255, 5000+i&1023),
+			Flow: uint32(i + 1),
+		}
+		tb.Put(keys[i], benchSession(b, keys[i], now))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tb.Get(keys[i&(n-1)]) == nil {
+			b.Fatal("lookup miss")
+		}
+	}
+}
+
+// BenchmarkSessionWheelAdvance measures one wheel tick with 1024 armed
+// timers: advance the cursor, collect the due timers, re-arm each at its
+// next deadline — the driver's steady-state loop.
+func BenchmarkSessionWheelAdvance(b *testing.B) {
+	t0 := time.Unix(1700000000, 0)
+	w := session.NewWheel(time.Millisecond, 512, t0)
+	const n = 1024
+	for i := 0; i < n; i++ {
+		w.Schedule(t0.Add(time.Duration(1+i%16)*time.Millisecond), func(time.Time) {})
+	}
+	var fired []*session.Timer
+	now := t0
+	// Warm the slot backing arrays to steady-state capacity so the
+	// measured window sees the zero-alloc regime, not first-lap growth.
+	tick := func(i int) {
+		now = now.Add(time.Millisecond)
+		fired = w.Advance(now, fired[:0])
+		for j, t := range fired {
+			w.Reschedule(t, now.Add(time.Duration(1+(i+j)%16)*time.Millisecond))
+			fired[j] = nil
+		}
+	}
+	for i := 0; i < 4096; i++ {
+		tick(i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tick(i)
+	}
+	if w.Len() != n {
+		b.Fatalf("wheel leaked timers: %d, want %d", w.Len(), n)
+	}
+}
+
+// BenchmarkSessionFeedbackBatch measures applying one flushed batch of 64
+// feedback labels to a session under a single lock acquisition — the
+// dispatch path behind the count+maxWait batcher.
+func BenchmarkSessionFeedbackBatch(b *testing.B) {
+	now := time.Unix(1700000000, 0)
+	s := benchSession(b, session.Key{Addr: "10.0.0.1:5000", Flow: 1}, now)
+	const batch = 64
+	labels := make([]packet.Feedback, batch)
+	epoch := uint64(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := range labels {
+			epoch++
+			labels[j] = packet.Feedback{RouterID: 1, Epoch: epoch, Loss: 0.05, Valid: true}
+		}
+		if got := s.HandleFeedbackBatch(labels, now); got != batch {
+			b.Fatalf("accepted %d of %d labels", got, batch)
+		}
+	}
+}

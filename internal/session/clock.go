@@ -1,0 +1,20 @@
+package session
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts wall time for the session subsystem. The package itself
+// is inside the pelsvet walltime boundary — it may not call time.Now or
+// construct timers — so every instant is read through this interface and
+// every blocking wait goes through Sleep. Production code injects
+// wire.SystemClock; tests inject synthetic clocks, which makes the wheel
+// driver and the reaper deterministic functions of the injected instants.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() when
+	// the wait was cut short and nil when it completed.
+	Sleep(ctx context.Context, d time.Duration) error
+}

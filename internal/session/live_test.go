@@ -1,0 +1,200 @@
+package session
+
+// Live loopback tests: a real session.Server on a real UDP socket, many
+// receivers, wall-clock time. These are the multi-session analogue of
+// the wire package's loopback tests; being _test.go files they sit
+// outside the pelsvet walltime boundary.
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/fgs"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// startLiveServer builds a UDP socket + shaped bottleneck + server.
+func startLiveServer(t *testing.T, capacity units.BitRate, epoch time.Duration, mut func(*ServerConfig)) (*Server, net.Addr, context.CancelFunc, chan error) {
+	t.Helper()
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	gw := wire.NewGateway(wire.GatewayConfig{
+		RouterID: 1,
+		Interval: epoch,
+		Capacity: capacity,
+		Obs:      reg,
+	})
+	shaped := wire.NewShapedConn(conn, wire.LinkConfig{
+		Bandwidth:  capacity,
+		QueueBytes: 60000,
+		Marker:     gw,
+	})
+	cfg := ServerConfig{
+		Conn:  conn,
+		Out:   shaped,
+		Clock: wire.SystemClock{},
+		Session: Config{
+			Frame:         fgs.FrameSpec{PacketSize: 100, TotalPackets: 80, GreenPackets: 1},
+			FrameInterval: 40 * time.Millisecond,
+			MKC: cc.MKCConfig{
+				Alpha:       6 * units.Kbps,
+				Beta:        0.5,
+				InitialRate: 200 * units.Kbps,
+				MinRate:     16 * units.Kbps,
+				DedupEpochs: true,
+			},
+		},
+		Shards: 4,
+		Obs:    reg,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	srv, err := NewServer(cfg)
+	if err != nil {
+		_ = shaped.Close()
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errCh := make(chan error, 1)
+	go func() {
+		errCh <- srv.Run(ctx)
+		_ = shaped.Close()
+	}()
+	t.Cleanup(cancel)
+	return srv, conn.LocalAddr(), cancel, errCh
+}
+
+// TestLiveWeightedShares drives 8 loopback receivers whose sessions get
+// different MKC α weights. At the MKC equilibrium α = β·r·p with one
+// shared marking probability p, converged rates are proportional to α —
+// so heavier flows must end up measurably faster, each session's control
+// loop independent of its neighbors, with zero cross-session sequence or
+// socket bleed.
+func TestLiveWeightedShares(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback test (seconds of wall clock)")
+	}
+	srv, addr, cancel, errCh := startLiveServer(t, 8*units.Mbps, 25*time.Millisecond, func(cfg *ServerConfig) {
+		cfg.Tune = func(k Key, c *Config) {
+			// Flow i weights its additive step: α_i = 6kbps × i.
+			c.MKC.Alpha = units.BitRate(int64(k.Flow)) * 6 * units.Kbps
+		}
+	})
+
+	swarm, err := wire.NewSwarm(wire.SwarmConfig{
+		Server:     addr,
+		Receivers:  8,
+		Sockets:    8,
+		Seed:       1,
+		HelloRetry: 200 * time.Millisecond,
+	}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, scancel := context.WithCancel(context.Background())
+	swarmErr := make(chan error, 1)
+	go func() { swarmErr <- swarm.Run(sctx) }()
+
+	time.Sleep(2500 * time.Millisecond) // MKC settling
+	swarm.MarkSteady(time.Now())
+	time.Sleep(2500 * time.Millisecond) // measurement window
+
+	stats := swarm.Stats()
+	scancel()
+	if err := <-swarmErr; err != nil {
+		t.Fatalf("swarm: %v", err)
+	}
+
+	rates := map[uint32]float64{}
+	for _, st := range stats {
+		if st.Datagrams == 0 {
+			t.Fatalf("flow %d never received data", st.Flow)
+		}
+		if st.SeqRegressions != 0 || st.CrossDeliveries != 0 {
+			t.Fatalf("flow %d: %d sequence regressions, %d cross-socket deliveries — session bleed",
+				st.Flow, st.SeqRegressions, st.CrossDeliveries)
+		}
+		if g := st.Colors[packet.Green]; g.LossRate() > 0.02 {
+			t.Errorf("flow %d green loss %.4f exceeds 2%%", st.Flow, g.LossRate())
+		}
+		rates[st.Flow] = st.SteadyRate().Bps()
+	}
+	// Strongly separated weights must yield strictly ordered rates; allow
+	// slack well under the theoretical ratio for scheduler noise.
+	for _, pair := range [][2]uint32{{1, 4}, {1, 8}, {2, 8}} {
+		lo, hi := rates[pair[0]], rates[pair[1]]
+		if hi < 1.5*lo {
+			t.Errorf("flow %d (%.0f bps) not clearly faster than flow %d (%.0f bps) despite %d× α",
+				pair[1], hi, pair[0], lo, pair[1]/pair[0])
+		}
+	}
+
+	// Every session ran its own feedback loop.
+	for _, ss := range srv.SessionStats() {
+		if ss.FeedbackAccepted == 0 {
+			t.Errorf("session %v accepted no feedback", ss.Key)
+		}
+	}
+	if got := srv.Stats().Admitted; got != 8 {
+		t.Errorf("admitted %d sessions, want 8", got)
+	}
+	cancel()
+	if err := <-errCh; err != nil {
+		t.Fatalf("server: %v", err)
+	}
+}
+
+// TestLiveReapSilentReceiver checks the idle-timeout path end to end: a
+// receiver says hello, takes a little data, goes silent, and the server
+// reaps its session and — with ExitWhenIdle — shuts down on its own.
+func TestLiveReapSilentReceiver(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live loopback test (seconds of wall clock)")
+	}
+	srv, addr, _, errCh := startLiveServer(t, 2*units.Mbps, 25*time.Millisecond, func(cfg *ServerConfig) {
+		cfg.IdleTimeout = 400 * time.Millisecond
+		cfg.ExitWhenIdle = true
+	})
+
+	conn, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello, err := wire.AppendDatagram(nil, wire.Header{Type: wire.TypeHello, Color: packet.ACK, Flow: 42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.WriteTo(hello, addr); err != nil {
+		t.Fatal(err)
+	}
+	// Take a few datagrams to prove the session streamed, then go silent.
+	buf := make([]byte, wire.MaxDatagram+1)
+	_ = conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := conn.ReadFrom(buf); err != nil {
+		t.Fatalf("session never streamed: %v", err)
+	}
+	_ = conn.Close()
+
+	select {
+	case err := <-errCh:
+		if err != nil {
+			t.Fatalf("server: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not reap the silent session and exit")
+	}
+	st := srv.Stats()
+	if st.Admitted != 1 || st.Reaped != 1 || st.Active != 0 {
+		t.Fatalf("stats admitted=%d reaped=%d active=%d, want 1/1/0", st.Admitted, st.Reaped, st.Active)
+	}
+}

@@ -1,0 +1,468 @@
+package session
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/cc"
+	"repro/internal/fgs"
+	"repro/internal/obs"
+	"repro/internal/packet"
+	"repro/internal/units"
+	"repro/internal/wire"
+)
+
+// Config parameterizes one session's control loops — the same knobs
+// wire.SenderConfig exposes, minus the transport and clock (the server
+// owns those, shared across sessions).
+type Config struct {
+	// Frame is the FGS packetization; PacketSize is the on-wire datagram
+	// size and must exceed the wire header size.
+	Frame fgs.FrameSpec
+	// FrameInterval is the video frame period.
+	FrameInterval time.Duration
+	// MKC parameterizes the per-session rate controller. Zero value
+	// selects cc.DefaultMKCConfig.
+	MKC cc.MKCConfig
+	// Gamma parameterizes the red-fraction controller. Zero value selects
+	// fgs.DefaultGammaConfig.
+	Gamma fgs.GammaConfig
+	// RedShare selects the γ denominator; 0 means fgs.RedShareTotal.
+	RedShare fgs.RedShare
+	// NewScaler builds the per-session frame scaler (scalers are
+	// stateful, so sessions cannot share one); nil means ConstantScaler.
+	NewScaler func() fgs.Scaler
+	// BurstBytes is the token-bucket size; 0 means 8 datagrams.
+	BurstBytes int
+	// MaxFrames stops the session after that many frames; 0 streams
+	// until drained or reaped.
+	MaxFrames int
+	// StaleTimeout arms the per-session stale-feedback watchdog (see
+	// wire.SenderConfig.StaleTimeout). 0 disables it.
+	StaleTimeout time.Duration
+	// StaleDecay is the per-horizon decay factor in (0,1); 0 selects 0.5.
+	StaleDecay float64
+}
+
+// WithDefaults fills zero-valued fields.
+func (c Config) WithDefaults() Config {
+	if c.Frame == (fgs.FrameSpec{}) {
+		c.Frame = fgs.DefaultFrameSpec()
+	}
+	if c.FrameInterval <= 0 {
+		c.FrameInterval = 20 * time.Millisecond
+	}
+	if c.MKC == (cc.MKCConfig{}) {
+		c.MKC = cc.DefaultMKCConfig()
+	}
+	if c.Gamma == (fgs.GammaConfig{}) {
+		c.Gamma = fgs.DefaultGammaConfig()
+	}
+	if c.RedShare == 0 {
+		c.RedShare = fgs.RedShareTotal
+	}
+	if c.BurstBytes <= 0 {
+		c.BurstBytes = 8 * c.Frame.PacketSize
+	}
+	if c.StaleDecay == 0 {
+		c.StaleDecay = 0.5
+	}
+	return c
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.Frame.Validate(); err != nil {
+		return err
+	}
+	if c.Frame.PacketSize <= wire.HeaderSize {
+		return fmt.Errorf("session: packet size %d must exceed header size %d",
+			c.Frame.PacketSize, wire.HeaderSize)
+	}
+	if c.Frame.PacketSize > wire.MaxDatagram {
+		return fmt.Errorf("session: packet size %d exceeds max datagram %d",
+			c.Frame.PacketSize, wire.MaxDatagram)
+	}
+	if c.StaleDecay < 0 || c.StaleDecay >= 1 {
+		return fmt.Errorf("session: stale decay %v must be in (0,1)", c.StaleDecay)
+	}
+	return nil
+}
+
+// State is a session's lifecycle position.
+type State int32
+
+const (
+	// StateStreaming: admitted by a hello, frames flowing.
+	StateStreaming State = iota + 1
+	// StateDraining: shutdown requested; the session finishes the frame
+	// in flight and then closes instead of being cut mid-frame.
+	StateDraining
+	// StateClosed: done (completed, drained, or reaped). Terminal.
+	StateClosed
+)
+
+// String returns the lower-case state name.
+func (s State) String() string {
+	switch s {
+	case StateStreaming:
+		return "streaming"
+	case StateDraining:
+		return "draining"
+	case StateClosed:
+		return "closed"
+	}
+	return fmt.Sprintf("state(%d)", int32(s))
+}
+
+// Stats is a snapshot of one session's counters and control state.
+type Stats struct {
+	Key              Key
+	State            State
+	Frames           int
+	Datagrams        uint64
+	Bytes            uint64
+	FeedbackAccepted uint64
+	Rate             units.BitRate
+	Gamma            float64
+	LastLoss         float64
+	StaleDecays      uint64
+	Recoveries       uint64
+	RouterChanges    uint64
+	Degrade          float64
+}
+
+// minDegrade mirrors wire.Sender's watchdog floor: ten halvings is far
+// below any useful video rate, and the MKC minimum floors the effective
+// rate anyway.
+const minDegrade = 1.0 / 1024
+
+// Session is one receiver's PELS stream: its own MKC controller, γ
+// controller, packetizer, per-color sequence spaces, and token bucket,
+// sharing the server's socket and bottleneck with every other session.
+//
+// Unlike wire.Sender — a blocking Run loop owning a goroutine — a
+// Session is a pump state machine: the wheel fires it, pump sends
+// whatever the token bucket allows at that instant, and returns the next
+// deadline to arm. One session is pumped by at most one worker at a time
+// (it has exactly one wheel timer), but feedback dispatch and stats run
+// concurrently, so all state is guarded by mu.
+type Session struct {
+	key  Key
+	peer net.Addr
+	cfg  Config
+	out  wire.PacketWriter
+
+	timer *Timer // armed by the server; owned by wheel/worker handoff
+
+	mu      sync.Mutex
+	state   State
+	ctrl    cc.Controller
+	gamma   *fgs.Gamma
+	pk      *fgs.Packetizer
+	scaler  fgs.Scaler
+	pacer   *wire.Pacer
+	seq     map[packet.Color]uint64
+	stats   Stats
+	buf     []byte // encoded datagram scratch; reused across pumps
+	payload []byte
+
+	frame    int // next frame number to plan
+	plan     fgs.PacketPlan
+	planIdx  int
+	reserved bool // buf holds an encoded, pacer-charged datagram
+
+	// Shared aggregate counters (one pair per server, not per session);
+	// nil when the server runs without a registry.
+	aggDatagrams *obs.Counter
+	aggBytes     *obs.Counter
+
+	degrade        float64
+	lastFeedbackAt time.Time
+	lastDecayAt    time.Time
+	lastActivity   time.Time
+	lastRouterID   int
+	haveRouter     bool
+}
+
+// NewSession builds a session streaming to peer through out, with its
+// clocks anchored at now. cfg must already be defaulted and validated
+// (the server does both once per template, not per hello).
+func NewSession(key Key, peer net.Addr, out wire.PacketWriter, cfg Config, now time.Time) (*Session, error) {
+	gamma, err := fgs.NewGamma(cfg.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	pk, err := fgs.NewPacketizer(cfg.Frame)
+	if err != nil {
+		return nil, err
+	}
+	var scaler fgs.Scaler = fgs.ConstantScaler{}
+	if cfg.NewScaler != nil {
+		scaler = cfg.NewScaler()
+	}
+	s := &Session{
+		key:            key,
+		peer:           peer,
+		cfg:            cfg,
+		out:            out,
+		state:          StateStreaming,
+		ctrl:           cc.NewMKC(cfg.MKC),
+		gamma:          gamma,
+		pk:             pk,
+		scaler:         scaler,
+		pacer:          wire.NewPacer(cfg.MKC.InitialRate, cfg.BurstBytes),
+		seq:            map[packet.Color]uint64{},
+		buf:            make([]byte, 0, cfg.Frame.PacketSize),
+		payload:        make([]byte, cfg.Frame.PacketSize-wire.HeaderSize),
+		degrade:        1,
+		lastFeedbackAt: now,
+		lastActivity:   now,
+	}
+	s.stats.Key = key
+	return s, nil
+}
+
+// Key returns the session's table key.
+func (s *Session) Key() Key { return s.key }
+
+// instrument attaches the server's shared aggregate counters, bumped on
+// every datagram sent. Must be called before the session is pumped.
+func (s *Session) instrument(datagrams, bytes *obs.Counter) {
+	s.aggDatagrams = datagrams
+	s.aggBytes = bytes
+}
+
+// Peer returns the receiver's address.
+func (s *Session) Peer() net.Addr { return s.peer }
+
+// pump advances the session at instant now: it finishes any
+// pacer-charged datagram from the previous wake, plans frames as their
+// budgets open, and sends until the token bucket pushes back. It returns
+// the next deadline to arm and done=true when the session reached its
+// terminal state (worker removes it from the table).
+func (s *Session) pump(now time.Time) (next time.Time, done bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed {
+		return time.Time{}, true
+	}
+	s.checkStaleLocked(now)
+	for {
+		if s.reserved {
+			// The previous wake charged the bucket for this datagram;
+			// its wait has now elapsed — put it on the wire.
+			s.sendLocked()
+			continue
+		}
+		if s.planIdx >= s.plan.Total() {
+			// Frame boundary.
+			if s.cfg.MaxFrames > 0 && s.frame >= s.cfg.MaxFrames {
+				s.state = StateClosed
+				return time.Time{}, true
+			}
+			if s.state == StateDraining {
+				s.state = StateClosed
+				return time.Time{}, true
+			}
+			budget := s.scaler.Budget(s.frame, s.effectiveRateLocked(), s.cfg.FrameInterval)
+			s.plan = s.pk.PlanShare(s.frame, budget, s.gamma.Value(), s.cfg.RedShare)
+			s.planIdx = 0
+			s.frame++
+			s.stats.Frames = s.frame
+			if s.plan.Total() == 0 {
+				// Degenerate budget: idle one frame interval instead of
+				// spinning (mirrors wire.Sender).
+				return now.Add(s.cfg.FrameInterval), false
+			}
+		}
+		color := s.plan.Color(s.planIdx)
+		h := wire.Header{
+			Type:      wire.TypeData,
+			Color:     color,
+			Flow:      s.key.Flow,
+			Frame:     uint32(s.frame - 1),
+			Index:     uint16(s.planIdx),
+			Seq:       s.seq[color],
+			Timestamp: now.UnixNano(),
+		}
+		s.seq[color]++
+		var err error
+		s.buf, err = wire.AppendDatagram(s.buf[:0], h, s.payload)
+		if err != nil {
+			// Unreachable with a validated config; close rather than spin.
+			s.state = StateClosed
+			return time.Time{}, true
+		}
+		if wait := s.pacer.Reserve(len(s.buf), now); wait > 0 {
+			s.reserved = true
+			return now.Add(wait), false
+		}
+		s.sendLocked()
+	}
+}
+
+// sendLocked writes the encoded datagram in buf and advances the plan.
+func (s *Session) sendLocked() {
+	// Write errors have nowhere to go — the shaping link models loss, and
+	// a vanished receiver is collected by the idle reaper.
+	_, _ = s.out.WriteTo(s.buf, s.peer)
+	s.reserved = false
+	s.planIdx++
+	s.stats.Datagrams++
+	s.stats.Bytes += uint64(len(s.buf))
+	if s.aggDatagrams != nil {
+		s.aggDatagrams.Inc()
+		s.aggBytes.Add(int64(len(s.buf)))
+	}
+}
+
+// effectiveRateLocked is the controller rate scaled by the watchdog
+// multiplier, floored at the MKC minimum rate.
+func (s *Session) effectiveRateLocked() units.BitRate {
+	r := units.BitRate(float64(s.ctrl.Rate()) * s.degrade)
+	if min := s.cfg.MKC.MinRate; min > 0 && r < min {
+		r = min
+	}
+	return r
+}
+
+// checkStaleLocked runs the stale-feedback watchdog: past StaleTimeout
+// without accepted feedback, decay the effective rate once per elapsed
+// horizon until feedback returns.
+func (s *Session) checkStaleLocked(now time.Time) {
+	if s.cfg.StaleTimeout <= 0 {
+		return
+	}
+	if now.Sub(s.lastFeedbackAt) < s.cfg.StaleTimeout {
+		return
+	}
+	if now.Sub(s.lastDecayAt) < s.cfg.StaleTimeout {
+		return // at most one decay per horizon
+	}
+	s.lastDecayAt = now
+	if s.degrade *= s.cfg.StaleDecay; s.degrade < minDegrade {
+		s.degrade = minDegrade
+	}
+	s.stats.StaleDecays++
+	s.pacer.SetRate(s.effectiveRateLocked(), now)
+}
+
+// HandleFeedback offers one feedback label to the session's controllers
+// at instant now, mirroring wire.Sender.HandleFeedback: epoch dedup in
+// the controller, watchdog recovery, γ reset on router change, pacer
+// retarget. It reports whether the label was fresh.
+func (s *Session) HandleFeedback(fb packet.Feedback, now time.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.handleFeedbackLocked(fb, now)
+}
+
+// HandleFeedbackBatch applies a batch of labels under one lock
+// acquisition — the dispatch path for Batcher flushes — returning how
+// many were fresh. Any feedback, fresh or duplicate, counts as receiver
+// activity for the idle reaper.
+func (s *Session) HandleFeedbackBatch(fbs []packet.Feedback, now time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	accepted := 0
+	for _, fb := range fbs {
+		if s.handleFeedbackLocked(fb, now) {
+			accepted++
+		}
+	}
+	return accepted
+}
+
+func (s *Session) handleFeedbackLocked(fb packet.Feedback, now time.Time) bool {
+	if !fb.Valid || s.state == StateClosed {
+		return false
+	}
+	s.lastActivity = now
+	if !s.ctrl.OnFeedback(fb) {
+		return false
+	}
+	s.lastFeedbackAt = now
+	if s.degrade != 1 {
+		s.degrade = 1
+		s.stats.Recoveries++
+	}
+	if s.haveRouter && fb.RouterID != s.lastRouterID {
+		// Feedback discontinuity: the loss history γ integrated belongs
+		// to the old queue — restart the red fraction.
+		s.gamma.Reset()
+		s.stats.RouterChanges++
+	} else {
+		s.gamma.Update(fb.Loss)
+	}
+	s.lastRouterID = fb.RouterID
+	s.haveRouter = true
+	s.stats.FeedbackAccepted++
+	s.pacer.SetRate(s.effectiveRateLocked(), now)
+	return true
+}
+
+// Touch records receiver activity (a duplicate hello) for the reaper.
+func (s *Session) Touch(now time.Time) {
+	s.mu.Lock()
+	s.lastActivity = now
+	s.mu.Unlock()
+}
+
+// Drain asks the session to finish the frame in flight and then close.
+func (s *Session) Drain() {
+	s.mu.Lock()
+	if s.state == StateStreaming {
+		s.state = StateDraining
+	}
+	s.mu.Unlock()
+}
+
+// expireIdle closes the session if its receiver has been silent for at
+// least idle, reporting whether it did. Already-closed sessions report
+// false (their removal is the worker's job).
+func (s *Session) expireIdle(now time.Time, idle time.Duration) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed || now.Sub(s.lastActivity) < idle {
+		return false
+	}
+	s.state = StateClosed
+	return true
+}
+
+// State returns the lifecycle state.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state
+}
+
+// Rate returns the controller's current rate.
+func (s *Session) Rate() units.BitRate {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.ctrl.Rate()
+}
+
+// Gamma returns the γ controller's current red fraction.
+func (s *Session) Gamma() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.gamma.Value()
+}
+
+// Stats returns a snapshot of the session's counters and control state.
+func (s *Session) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.State = s.state
+	st.Rate = s.ctrl.Rate()
+	st.Gamma = s.gamma.Value()
+	st.LastLoss = s.ctrl.LastLoss()
+	st.Degrade = s.degrade
+	return st
+}

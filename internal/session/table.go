@@ -1,0 +1,223 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Key identifies one session: the receiver's transport address plus the
+// flow ID it announced in its hello. Two receivers behind one address
+// (pelsload multiplexes many flows over few sockets) stay distinct, and
+// one receiver re-helloing from a new port is a new session.
+type Key struct {
+	Addr string
+	Flow uint32
+}
+
+// String renders the key as addr/flow.
+func (k Key) String() string { return fmt.Sprintf("%s/%d", k.Addr, k.Flow) }
+
+// tableShard is one lock domain of the table. Each shard carries its own
+// obs registry so saturation — how unevenly sessions hash, which shard a
+// hot path contends on — is visible per shard in /debug/shards rather
+// than averaged away in a global counter.
+type tableShard struct {
+	mu  sync.RWMutex
+	m   map[Key]*Session
+	reg *obs.Registry
+
+	admitted *obs.Counter
+	removed  *obs.Counter
+	reaped   *obs.Counter
+}
+
+// Table is the sharded session table. The shard count is fixed at
+// construction (rounded up to a power of two); keys hash with FNV-1a over
+// the address bytes and flow ID.
+type Table struct {
+	shards []*tableShard
+	mask   uint32
+}
+
+// NewTable builds a table with the given shard count (minimum 1, rounded
+// up to a power of two).
+func NewTable(shards int) *Table {
+	if shards < 1 {
+		shards = 1
+	}
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	t := &Table{shards: make([]*tableShard, n), mask: uint32(n - 1)}
+	for i := range t.shards {
+		sh := &tableShard{m: make(map[Key]*Session), reg: obs.NewRegistry()}
+		sh.admitted = sh.reg.Counter("shard.admitted")
+		sh.removed = sh.reg.Counter("shard.removed")
+		sh.reaped = sh.reg.Counter("shard.reaped")
+		sh.reg.GaugeFunc("shard.sessions", func() float64 {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			return float64(len(sh.m))
+		})
+		sh.reg.GaugeFunc("shard.rate_kbps_sum", func() float64 {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			var sum float64
+			for _, s := range sh.m {
+				sum += s.Rate().KbpsValue()
+			}
+			return sum
+		})
+		sh.reg.GaugeFunc("shard.gamma_mean", func() float64 {
+			sh.mu.RLock()
+			defer sh.mu.RUnlock()
+			if len(sh.m) == 0 {
+				return 0
+			}
+			var sum float64
+			for _, s := range sh.m {
+				sum += s.Gamma()
+			}
+			return sum / float64(len(sh.m))
+		})
+		t.shards[i] = sh
+	}
+	return t
+}
+
+// Shards returns the shard count.
+func (t *Table) Shards() int { return len(t.shards) }
+
+// Registries returns the per-shard obs registries, indexed by shard.
+func (t *Table) Registries() []*obs.Registry {
+	regs := make([]*obs.Registry, len(t.shards))
+	for i, sh := range t.shards {
+		regs[i] = sh.reg
+	}
+	return regs
+}
+
+// hash is FNV-1a over the key's address bytes and flow ID.
+func (t *Table) hash(k Key) uint32 {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(k.Addr); i++ {
+		h ^= uint32(k.Addr[i])
+		h *= prime32
+	}
+	h ^= k.Flow
+	h *= prime32
+	return h
+}
+
+func (t *Table) shard(k Key) *tableShard { return t.shards[t.hash(k)&t.mask] }
+
+// ShardIndex returns which shard k hashes to (for tests and diagnostics).
+func (t *Table) ShardIndex(k Key) int { return int(t.hash(k) & t.mask) }
+
+// Get returns the session for k, or nil.
+func (t *Table) Get(k Key) *Session {
+	sh := t.shard(k)
+	sh.mu.RLock()
+	s := sh.m[k]
+	sh.mu.RUnlock()
+	return s
+}
+
+// Put inserts s under k. It reports false (and does not insert) when the
+// key is already present — admission is first-hello-wins.
+func (t *Table) Put(k Key, s *Session) bool {
+	sh := t.shard(k)
+	sh.mu.Lock()
+	if _, ok := sh.m[k]; ok {
+		sh.mu.Unlock()
+		return false
+	}
+	sh.m[k] = s
+	sh.mu.Unlock()
+	sh.admitted.Inc()
+	return true
+}
+
+// Delete removes k, reporting whether it was present. reaped marks the
+// removal as an idle-timeout reap in the shard's counters.
+func (t *Table) Delete(k Key, reaped bool) bool {
+	sh := t.shard(k)
+	sh.mu.Lock()
+	_, ok := sh.m[k]
+	if ok {
+		delete(sh.m, k)
+	}
+	sh.mu.Unlock()
+	if ok {
+		sh.removed.Inc()
+		if reaped {
+			sh.reaped.Inc()
+		}
+	}
+	return ok
+}
+
+// Len returns the number of live sessions across all shards.
+func (t *Table) Len() int {
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		n += len(sh.m)
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Range calls fn for every session. Each shard is snapshotted under its
+// read lock and visited outside it, so fn may call back into the table
+// (delete, even insert) without deadlocking.
+func (t *Table) Range(fn func(k Key, s *Session) bool) {
+	var snap []struct {
+		k Key
+		s *Session
+	}
+	for _, sh := range t.shards {
+		sh.mu.RLock()
+		snap = snap[:0]
+		for k, s := range sh.m {
+			snap = append(snap, struct {
+				k Key
+				s *Session
+			}{k, s})
+		}
+		sh.mu.RUnlock()
+		for _, e := range snap {
+			if !fn(e.k, e.s) {
+				return
+			}
+		}
+	}
+}
+
+// Reap closes and removes every session idle since before now−idle,
+// returning the reaped keys (nil when none). Completed sessions are
+// removed by the worker pool as they finish; Reap only collects receivers
+// that went silent mid-stream.
+func (t *Table) Reap(now time.Time, idle time.Duration, onReap func(k Key, s *Session)) int {
+	n := 0
+	t.Range(func(k Key, s *Session) bool {
+		if s.expireIdle(now, idle) {
+			if t.Delete(k, true) {
+				n++
+				if onReap != nil {
+					onReap(k, s)
+				}
+			}
+		}
+		return true
+	})
+	return n
+}

@@ -1,0 +1,162 @@
+package session
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Wheel is a hashed timing wheel (Varghese & Lauck): deadlines hash into
+// a power-of-two ring of slots, the cursor walks one slot per tick, and a
+// deadline beyond the horizon simply stays in its slot across laps until
+// its instant arrives. Scheduling and cancelling are O(1); advancing does
+// work proportional to the timers that are actually due plus the lap walk.
+//
+// The wheel never reads a clock: Advance is handed the current instant
+// and fires everything due at or before it. Driving it from a real clock
+// (Server), a synthetic clock (tests), or a benchmark loop is the
+// caller's choice, which is what keeps this core deterministic and
+// pelsvet-walltime-clean.
+//
+// All methods are safe for concurrent use. Fired timers are returned to
+// the caller rather than invoked under the wheel lock, so callbacks may
+// schedule freely.
+type Wheel struct {
+	mu       sync.Mutex
+	tick     time.Duration
+	mask     int
+	slots    [][]*Timer
+	cursor   int
+	cursorAt time.Time // boundary instant of the cursor slot
+	count    int
+}
+
+// Timer is one scheduled deadline. A Timer belongs to exactly one Wheel
+// and is reusable: once fired (or cancelled) it may be armed again with
+// Wheel.Reschedule, so a long-lived session allocates its timer once.
+type Timer struct {
+	fn   func(now time.Time)
+	at   time.Time
+	done bool // fired or cancelled; guarded by the wheel's lock
+}
+
+// Call invokes the timer's callback with the firing instant. The wheel
+// never calls it; the driver does, outside the wheel lock.
+func (t *Timer) Call(now time.Time) { t.fn(now) }
+
+// When returns the armed deadline (meaningful while the timer is live).
+func (t *Timer) When() time.Time { return t.at }
+
+// NewWheel builds a wheel with the given tick granularity and slot count
+// (rounded up to a power of two), anchored at now. The horizon —
+// tick × slots — is the longest deadline that avoids lap rescans; longer
+// deadlines are correct but touched once per lap.
+func NewWheel(tick time.Duration, slots int, now time.Time) *Wheel {
+	if tick <= 0 {
+		panic(fmt.Sprintf("session: wheel tick %v must be positive", tick))
+	}
+	if slots <= 0 {
+		slots = 256
+	}
+	n := 1
+	for n < slots {
+		n <<= 1
+	}
+	return &Wheel{
+		tick:     tick,
+		mask:     n - 1,
+		slots:    make([][]*Timer, n),
+		cursorAt: now,
+	}
+}
+
+// Tick returns the wheel granularity.
+func (w *Wheel) Tick() time.Duration { return w.tick }
+
+// Len returns the number of live timers.
+func (w *Wheel) Len() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.count
+}
+
+// Schedule arms a new timer firing at instant at (past instants fire on
+// the next tick). The callback is retained for the timer's lifetime and
+// reused across Reschedule calls.
+func (w *Wheel) Schedule(at time.Time, fn func(now time.Time)) *Timer {
+	t := &Timer{fn: fn, done: true}
+	w.Reschedule(t, at)
+	return t
+}
+
+// Reschedule re-arms a fired or cancelled timer at a new instant. It
+// panics if the timer is still live: a session has exactly one pending
+// deadline, and silently double-arming would corrupt the wheel count.
+func (w *Wheel) Reschedule(t *Timer, at time.Time) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !t.done {
+		panic("session: Reschedule of a live timer")
+	}
+	t.done = false
+	t.at = at
+	// A deadline at or before the cursor boundary goes one slot ahead:
+	// the wheel fires on tick boundaries, so "now" means "next tick".
+	ticks := 1
+	if d := at.Sub(w.cursorAt); d > w.tick {
+		ticks = int((d + w.tick - 1) / w.tick)
+	}
+	slot := (w.cursor + ticks) & w.mask
+	w.slots[slot] = append(w.slots[slot], t)
+	w.count++
+}
+
+// Cancel disarms a timer. It reports whether the timer was live (false
+// when it already fired or was already cancelled); the slot entry is
+// dropped lazily when the cursor next walks it.
+func (w *Wheel) Cancel(t *Timer) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if t.done {
+		return false
+	}
+	t.done = true
+	w.count--
+	return true
+}
+
+// Advance walks the cursor up to now, appending every timer due at or
+// before now to fired and returning the extended slice. Timers hashed
+// into a walked slot whose deadline is laps away stay put. The caller
+// invokes the returned timers (Timer.Call) outside the wheel lock.
+func (w *Wheel) Advance(now time.Time, fired []*Timer) []*Timer {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for now.Sub(w.cursorAt) >= w.tick {
+		w.cursor = (w.cursor + 1) & w.mask
+		w.cursorAt = w.cursorAt.Add(w.tick)
+		slot := w.slots[w.cursor]
+		if len(slot) == 0 {
+			continue
+		}
+		keep := slot[:0]
+		for _, t := range slot {
+			switch {
+			case t.done: // cancelled; drop the entry
+			case !t.at.After(now):
+				t.done = true
+				w.count--
+				fired = append(fired, t)
+			default: // a future lap
+				keep = append(keep, t)
+			}
+		}
+		// Zero the tail so dropped timers do not leak through the
+		// retained backing array.
+		for i := len(keep); i < len(slot); i++ {
+			slot[i] = nil
+		}
+		w.slots[w.cursor] = keep
+	}
+	return fired
+}

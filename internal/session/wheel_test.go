@@ -1,0 +1,128 @@
+package session
+
+import (
+	"testing"
+	"time"
+)
+
+// advanceTo steps the wheel to at and returns everything fired.
+func advanceTo(w *Wheel, at time.Time) []*Timer {
+	return w.Advance(at, nil)
+}
+
+func TestWheelFiresAtDeadline(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	w := NewWheel(time.Millisecond, 8, t0)
+	fired := 0
+	w.Schedule(t0.Add(3*time.Millisecond), func(time.Time) { fired++ })
+	if got := advanceTo(w, t0.Add(2*time.Millisecond)); len(got) != 0 {
+		t.Fatalf("fired %d timers before the deadline", len(got))
+	}
+	got := advanceTo(w, t0.Add(3*time.Millisecond))
+	if len(got) != 1 {
+		t.Fatalf("got %d timers at the deadline, want 1", len(got))
+	}
+	got[0].Call(t0.Add(3 * time.Millisecond))
+	if fired != 1 {
+		t.Fatalf("callback ran %d times, want 1", fired)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel len %d after firing, want 0", w.Len())
+	}
+}
+
+func TestWheelLapFiltering(t *testing.T) {
+	// 8 slots × 1ms = 8ms horizon; a 20ms deadline wraps 2.5 laps and must
+	// survive two cursor passes over its slot before firing.
+	t0 := time.Unix(1000, 0)
+	w := NewWheel(time.Millisecond, 8, t0)
+	w.Schedule(t0.Add(20*time.Millisecond), func(time.Time) {})
+	for ms := 1; ms < 20; ms++ {
+		if got := advanceTo(w, t0.Add(time.Duration(ms)*time.Millisecond)); len(got) != 0 {
+			t.Fatalf("lap timer fired early at %dms", ms)
+		}
+	}
+	if got := advanceTo(w, t0.Add(20*time.Millisecond)); len(got) != 1 {
+		t.Fatalf("lap timer did not fire at its deadline, got %d", len(got))
+	}
+}
+
+func TestWheelPastDeadlineFiresNextTick(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	w := NewWheel(time.Millisecond, 8, t0)
+	w.Schedule(t0.Add(-time.Second), func(time.Time) {})
+	if got := advanceTo(w, t0.Add(time.Millisecond)); len(got) != 1 {
+		t.Fatalf("past deadline fired %d timers on the next tick, want 1", len(got))
+	}
+}
+
+func TestWheelCancel(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	w := NewWheel(time.Millisecond, 8, t0)
+	tm := w.Schedule(t0.Add(2*time.Millisecond), func(time.Time) {})
+	if !w.Cancel(tm) {
+		t.Fatal("Cancel of a live timer reported false")
+	}
+	if w.Cancel(tm) {
+		t.Fatal("second Cancel reported true")
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel len %d after cancel, want 0", w.Len())
+	}
+	if got := advanceTo(w, t0.Add(10*time.Millisecond)); len(got) != 0 {
+		t.Fatalf("cancelled timer fired (%d)", len(got))
+	}
+}
+
+func TestWheelRescheduleReuse(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	w := NewWheel(time.Millisecond, 8, t0)
+	count := 0
+	tm := w.Schedule(t0.Add(time.Millisecond), func(time.Time) { count++ })
+	now := t0
+	for i := 0; i < 5; i++ {
+		now = now.Add(time.Millisecond)
+		for _, f := range advanceTo(w, now) {
+			f.Call(now)
+			w.Reschedule(f, now.Add(time.Millisecond))
+		}
+	}
+	if count != 5 {
+		t.Fatalf("reused timer fired %d times, want 5", count)
+	}
+	if tm.When().Before(now) {
+		t.Fatalf("rescheduled deadline %v not advanced past %v", tm.When(), now)
+	}
+}
+
+func TestWheelRescheduleLivePanics(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	w := NewWheel(time.Millisecond, 8, t0)
+	tm := w.Schedule(t0.Add(time.Millisecond), func(time.Time) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Reschedule of a live timer did not panic")
+		}
+	}()
+	w.Reschedule(tm, t0.Add(2*time.Millisecond))
+}
+
+func TestWheelManyTimersOneAdvance(t *testing.T) {
+	t0 := time.Unix(1000, 0)
+	w := NewWheel(time.Millisecond, 64, t0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		at := t0.Add(time.Duration(1+i%50) * time.Millisecond)
+		w.Schedule(at, func(time.Time) {})
+	}
+	if w.Len() != n {
+		t.Fatalf("wheel len %d, want %d", w.Len(), n)
+	}
+	got := advanceTo(w, t0.Add(50*time.Millisecond))
+	if len(got) != n {
+		t.Fatalf("one advance past every deadline fired %d, want %d", len(got), n)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("wheel len %d after firing all, want 0", w.Len())
+	}
+}

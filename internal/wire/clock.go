@@ -1,0 +1,42 @@
+package wire
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// PacketWriter is the write half of net.PacketConn — the only surface a
+// paced sender actually needs. ShapedConn, the emulator endpoints, and
+// real UDP sockets all satisfy it; internal/session depends on this
+// narrow interface so its sessions can share one socket without owning
+// its read side.
+type PacketWriter interface {
+	WriteTo(b []byte, addr net.Addr) (int, error)
+}
+
+// SystemClock is the production clock for internal/session: time.Now and
+// timer-backed sleeps. It lives here — not in internal/session — because
+// the session package sits inside the pelsvet walltime boundary and may
+// only consume injected clocks; internal/wire is the layer licensed to
+// touch the wall clock.
+type SystemClock struct{}
+
+// Now returns time.Now().
+func (SystemClock) Now() time.Time { return time.Now() }
+
+// Sleep blocks for d or until ctx is done, returning ctx.Err() when the
+// wait was cut short.
+func (SystemClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

@@ -1,0 +1,399 @@
+package wire
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/packet"
+	"repro/internal/units"
+)
+
+// SwarmConfig parameterizes a receiver swarm — the load-generation
+// counterpart of internal/session: many lightweight PELS receivers
+// multiplexed over a few sockets, driven by a fixed goroutine pool (one
+// read loop per socket plus one hello driver) instead of a full
+// Receiver goroutine per flow.
+type SwarmConfig struct {
+	// Server is where hellos and feedback are sent. Required.
+	Server net.Addr
+	// Receivers is the number of synthetic receivers. Required.
+	Receivers int
+	// Sockets is how many UDP sockets the receivers share; flows are
+	// assigned round-robin. 0 selects min(16, Receivers).
+	Sockets int
+	// FirstFlow is the flow ID of receiver 0; receiver i uses
+	// FirstFlow+i. 0 selects 1.
+	FirstFlow uint32
+	// Seed drives the arrival jitter. 0 selects 1.
+	Seed int64
+	// Ramp spreads receiver start times uniformly over this window, so a
+	// big swarm does not hammer the server with one synchronized hello
+	// burst. 0 starts everyone immediately.
+	Ramp time.Duration
+	// HelloRetry re-sends a receiver's hello until its first data
+	// datagram arrives. 0 selects 500ms.
+	HelloRetry time.Duration
+	// Listen opens one swarm socket; nil selects an ephemeral UDP port.
+	// Tests substitute emulator endpoints here.
+	Listen func() (net.PacketConn, error)
+}
+
+func (c SwarmConfig) withDefaults() SwarmConfig {
+	if c.Sockets <= 0 {
+		c.Sockets = 16
+		if c.Receivers < c.Sockets {
+			c.Sockets = c.Receivers
+		}
+	}
+	if c.FirstFlow == 0 {
+		c.FirstFlow = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HelloRetry <= 0 {
+		c.HelloRetry = 500 * time.Millisecond
+	}
+	if c.Listen == nil {
+		c.Listen = func() (net.PacketConn, error) { return net.ListenPacket("udp", "127.0.0.1:0") }
+	}
+	return c
+}
+
+// SwarmReceiverStats is one synthetic receiver's delivery snapshot.
+type SwarmReceiverStats struct {
+	Flow      uint32
+	Datagrams uint64
+	Bytes     uint64
+	Colors    map[packet.Color]ColorCount
+	// SeqRegressions counts datagrams whose sequence number ran backwards
+	// with no loss debt to repay — on a loss-free loopback link, any
+	// regression means another session's sequence space leaked into this
+	// flow.
+	SeqRegressions uint64
+	// CrossDeliveries counts data datagrams that arrived on a different
+	// socket than the flow's own — direct evidence of cross-session
+	// demux bleed on the server.
+	CrossDeliveries uint64
+	HellosSent      uint64
+	FeedbackSent    uint64
+	Epochs          uint64
+	LastFeedback    packet.Feedback
+	FirstAt, LastAt time.Time
+	// SteadyBytes/SteadyAt accumulate since the last MarkSteady call —
+	// the converged-rate measurement window.
+	SteadyBytes uint64
+	SteadyAt    time.Time
+}
+
+// Goodput is the delivered wire bitrate over the whole arrival interval.
+func (s SwarmReceiverStats) Goodput() units.BitRate {
+	d := s.LastAt.Sub(s.FirstAt)
+	if d <= 0 {
+		return 0
+	}
+	return units.RateFromBytes(int64(s.Bytes), d)
+}
+
+// SteadyRate is the delivered bitrate since MarkSteady — the per-session
+// converged rate when the mark is placed after the ramp.
+func (s SwarmReceiverStats) SteadyRate() units.BitRate {
+	d := s.LastAt.Sub(s.SteadyAt)
+	if d <= 0 {
+		return 0
+	}
+	return units.RateFromBytes(int64(s.SteadyBytes), d)
+}
+
+// swarmTrack is the per-color sequence tracker (colorTrack without the
+// per-epoch window, which the swarm does not need).
+type swarmTrack struct {
+	next  uint64
+	count ColorCount
+}
+
+// swarmReceiver is one synthetic receiver's state machine:
+// hello (retried) → streaming (echo fresh labels) — a strict subset of
+// Receiver, small enough for ten thousand instances.
+type swarmReceiver struct {
+	flow    uint32
+	sock    int
+	startAt time.Time
+
+	mu        sync.Mutex
+	gotData   bool
+	nextHello time.Time
+	colors    map[packet.Color]*swarmTrack
+	lastFB    packet.Feedback
+	fbSeq     uint64
+	st        SwarmReceiverStats
+}
+
+// Swarm drives Receivers synthetic PELS receivers against one server.
+// Goroutine cost is Sockets+1 regardless of the receiver count.
+type Swarm struct {
+	cfg   SwarmConfig
+	socks []net.PacketConn
+	recvs []*swarmReceiver
+	// byFlow is immutable after New — read loops access it lock-free.
+	byFlow map[uint32]*swarmReceiver
+
+	wmu     []sync.Mutex // per-socket write serialization
+	encBufs [][]byte
+}
+
+// NewSwarm opens the sockets and builds the receiver set; call Run to
+// start traffic. Arrival times are seeded off cfg.Seed relative to now.
+func NewSwarm(cfg SwarmConfig, now time.Time) (*Swarm, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("wire: SwarmConfig.Server is required")
+	}
+	if cfg.Receivers <= 0 {
+		return nil, fmt.Errorf("wire: SwarmConfig.Receivers %d must be positive", cfg.Receivers)
+	}
+	cfg = cfg.withDefaults()
+	s := &Swarm{
+		cfg:     cfg,
+		byFlow:  make(map[uint32]*swarmReceiver, cfg.Receivers),
+		wmu:     make([]sync.Mutex, cfg.Sockets),
+		encBufs: make([][]byte, cfg.Sockets),
+	}
+	for i := 0; i < cfg.Sockets; i++ {
+		conn, err := cfg.Listen()
+		if err != nil {
+			s.closeSocks()
+			return nil, fmt.Errorf("wire: swarm socket %d: %w", i, err)
+		}
+		s.socks = append(s.socks, conn)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < cfg.Receivers; i++ {
+		start := now
+		if cfg.Ramp > 0 {
+			start = now.Add(time.Duration(rng.Int63n(int64(cfg.Ramp))))
+		}
+		r := &swarmReceiver{
+			flow:    cfg.FirstFlow + uint32(i),
+			sock:    i % cfg.Sockets,
+			startAt: start,
+			colors:  map[packet.Color]*swarmTrack{},
+		}
+		r.nextHello = start
+		r.st.Flow = r.flow
+		r.st.SteadyAt = start
+		s.recvs = append(s.recvs, r)
+		s.byFlow[r.flow] = r
+	}
+	return s, nil
+}
+
+func (s *Swarm) closeSocks() {
+	for _, c := range s.socks {
+		_ = c.Close()
+	}
+}
+
+// Sockets returns how many sockets the swarm opened.
+func (s *Swarm) Sockets() int { return len(s.socks) }
+
+// Run drives the swarm until ctx is canceled, then closes the sockets.
+func (s *Swarm) Run(ctx context.Context) error {
+	defer s.closeSocks()
+	errCh := make(chan error, len(s.socks))
+	var wg sync.WaitGroup
+	for i := range s.socks {
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			if err := s.readLoop(ctx, idx); err != nil {
+				errCh <- err
+			}
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.helloLoop(ctx)
+	}()
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return err
+	default:
+		return nil
+	}
+}
+
+// helloLoop scans the receiver set on a coarse tick, sending (and
+// retrying) hellos for receivers whose arrival time has come and whose
+// stream has not started. A linear scan every 25ms is microseconds even
+// at ten thousand receivers.
+func (s *Swarm) helloLoop(ctx context.Context) {
+	tick := time.NewTicker(25 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case now := <-tick.C:
+			for _, r := range s.recvs {
+				r.mu.Lock()
+				due := !r.gotData && !now.Before(r.nextHello)
+				if due {
+					r.nextHello = now.Add(s.cfg.HelloRetry)
+					r.st.HellosSent++
+				}
+				r.mu.Unlock()
+				if due {
+					s.send(r.sock, Header{
+						Type:      TypeHello,
+						Color:     packet.ACK,
+						Flow:      r.flow,
+						Timestamp: now.UnixNano(),
+					})
+				}
+			}
+		}
+	}
+}
+
+// send encodes h and writes it to the server from socket idx.
+func (s *Swarm) send(idx int, h Header) {
+	s.wmu[idx].Lock()
+	defer s.wmu[idx].Unlock()
+	b, err := AppendDatagram(s.encBufs[idx][:0], h, nil)
+	if err != nil {
+		return
+	}
+	s.encBufs[idx] = b
+	_, _ = s.socks[idx].WriteTo(b, s.cfg.Server)
+}
+
+// readLoop consumes one socket: data datagrams update the owning
+// receiver's trackers, and fresh feedback labels are echoed back.
+func (s *Swarm) readLoop(ctx context.Context, idx int) error {
+	conn := s.socks[idx]
+	buf := make([]byte, MaxDatagram+1)
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		_ = conn.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		n, _, err := conn.ReadFrom(buf)
+		switch {
+		case err == nil:
+		case errors.Is(err, os.ErrDeadlineExceeded):
+			continue
+		case errors.Is(err, net.ErrClosed):
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("wire: swarm read: %w", err)
+		default:
+			if ctx.Err() != nil {
+				return nil
+			}
+			return fmt.Errorf("wire: swarm read: %w", err)
+		}
+		s.handle(idx, buf[:n], time.Now())
+	}
+}
+
+// handle applies one datagram received on socket idx.
+func (s *Swarm) handle(idx int, b []byte, now time.Time) {
+	h, _, err := DecodeDatagram(b)
+	if err != nil || h.Type != TypeData {
+		return
+	}
+	r := s.byFlow[h.Flow]
+	if r == nil {
+		return
+	}
+
+	r.mu.Lock()
+	if r.sock != idx {
+		r.st.CrossDeliveries++
+	}
+	r.gotData = true
+	if r.st.Datagrams == 0 {
+		r.st.FirstAt = now
+	}
+	r.st.LastAt = now
+	r.st.Datagrams++
+	r.st.Bytes += uint64(len(b))
+	r.st.SteadyBytes += uint64(len(b))
+
+	t := r.colors[h.Color]
+	if t == nil {
+		t = &swarmTrack{}
+		r.colors[h.Color] = t
+	}
+	switch {
+	case h.Seq >= t.next:
+		gap := h.Seq - t.next
+		t.count.Lost += gap
+		t.next = h.Seq + 1
+	case t.count.Lost > 0:
+		// A reordered late arrival repays one presumed loss.
+		t.count.Lost--
+	default:
+		r.st.SeqRegressions++
+	}
+	t.count.Received++
+	t.count.Bytes += uint64(len(b))
+
+	var echo *Header
+	if h.Feedback.Valid && fresher(h.Feedback, r.lastFB) {
+		r.lastFB = h.Feedback
+		r.st.Epochs++
+		r.fbSeq++
+		echo = &Header{
+			Type:      TypeFeedback,
+			Color:     packet.ACK,
+			Flow:      r.flow,
+			Seq:       r.fbSeq,
+			Timestamp: now.UnixNano(),
+			Feedback:  h.Feedback,
+		}
+		r.st.FeedbackSent++
+	}
+	r.mu.Unlock()
+
+	if echo != nil {
+		s.send(r.sock, *echo)
+	}
+}
+
+// MarkSteady resets every receiver's steady-state window to now; call it
+// once the ramp has settled so SteadyRate measures converged throughput.
+func (s *Swarm) MarkSteady(now time.Time) {
+	for _, r := range s.recvs {
+		r.mu.Lock()
+		r.st.SteadyBytes = 0
+		r.st.SteadyAt = now
+		r.mu.Unlock()
+	}
+}
+
+// Stats snapshots every receiver, ordered by flow ID.
+func (s *Swarm) Stats() []SwarmReceiverStats {
+	out := make([]SwarmReceiverStats, 0, len(s.recvs))
+	for _, r := range s.recvs {
+		r.mu.Lock()
+		st := r.st
+		st.LastFeedback = r.lastFB
+		st.Colors = make(map[packet.Color]ColorCount, len(r.colors))
+		for c, t := range r.colors {
+			st.Colors[c] = t.count
+		}
+		r.mu.Unlock()
+		out = append(out, st)
+	}
+	return out
+}
