@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint test test-short race fmt-check ci bench bench-json perfdiff repro cover fuzz chaos smoke load obs-demo clean
+.PHONY: all build vet lint lint-strict test test-short race fmt-check ci bench bench-json perfdiff repro cover fuzz chaos smoke load obs-demo clean
 
 all: build vet lint test
 
@@ -11,10 +11,18 @@ vet:
 	go vet ./...
 
 # PELS-specific static analyzers (determinism, seeded randomness, float
-# equality, unit hygiene). Any diagnostic fails the build; intentional
-# exceptions carry //pelsvet:allow comments in the source.
+# equality, unit hygiene, lock discipline, zero-alloc contracts, goroutine
+# lifecycles). Any diagnostic fails the build; intentional exceptions carry
+# //pelsvet:allow comments in the source.
 lint:
 	go run ./cmd/pelsvet ./...
+
+# The CI lint-strict step: same analyzers, but the findings are captured as
+# a machine-readable artifact (same exit semantics — any finding fails).
+# Capture-then-cat instead of tee: /bin/sh may be dash, which has no pipefail.
+lint-strict:
+	@go run ./cmd/pelsvet -json ./... > /tmp/pelsvet.json; st=$$?; \
+		cat /tmp/pelsvet.json; exit $$st
 
 test:
 	go test ./...
@@ -49,7 +57,7 @@ bench:
 # repeated -count times; perfdiff -emit -best keeps the min-ns/max-allocs
 # figure of the repeats, the noise-robust statistic for gating. The
 # repo-level figure benchmarks run once and are recorded, not gated.
-BENCH_V      := 7
+BENCH_V      := 8
 BENCH_MICRO  := ^Benchmark(Wire|Gateway|Pacer|Sim|Netsim|Session)
 BENCH_MACRO  := ^BenchmarkMacro
 # Gated names must all exist in every fresh report the CI bench job makes

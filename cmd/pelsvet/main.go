@@ -59,11 +59,10 @@ func run() int {
 	}
 
 	runner := &lint.Runner{Analyzers: analyzers, Concurrency: *par}
-	diags, err := runner.Run(*dir, flag.Args()...)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pelsvet:", err)
-		return 2
-	}
+	// Run returns partial diagnostics alongside per-package load errors:
+	// print the findings first either way, then report the failure. One
+	// broken package must not hide the findings in the healthy ones.
+	diags, runErr := runner.Run(*dir, flag.Args()...)
 
 	if *asJSON {
 		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
@@ -74,6 +73,10 @@ func run() int {
 		for _, d := range diags {
 			fmt.Println(d)
 		}
+	}
+	if runErr != nil {
+		fmt.Fprintln(os.Stderr, "pelsvet:", runErr)
+		return 2
 	}
 	if len(diags) > 0 {
 		if !*asJSON {

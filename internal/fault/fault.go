@@ -214,8 +214,9 @@ type Stats struct {
 // one injector between links would entangle their draw sequences — give
 // each link its own.
 type Injector struct {
+	plan Plan // validated at construction, never mutated
+
 	mu    sync.Mutex
-	plan  Plan
 	rng   *rand.Rand
 	bad   []bool // per-event Gilbert–Elliott state
 	stats Stats
@@ -331,12 +332,13 @@ func (i *Injector) Filter(now time.Duration, pkt Packet) Decision {
 			}
 		}
 	}
-	i.count(d, starved)
+	i.countLocked(d, starved)
 	return d
 }
 
-// count updates the effect counters for one decision.
-func (i *Injector) count(d Decision, starved bool) {
+// countLocked updates the effect counters for one decision; the caller
+// holds i.mu.
+func (i *Injector) countLocked(d Decision, starved bool) {
 	if starved {
 		i.stats.Starved++
 		inc(i.obsStarved)

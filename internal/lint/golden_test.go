@@ -215,6 +215,86 @@ func TestAllowSuppressesAll(t *testing.T) {
 	}
 }
 
+func TestGuardedGolden(t *testing.T) {
+	runGolden(t, newTestdataLoader(t), "guarded/app", Guarded)
+}
+
+// TestGuardedBadDirectives proves a //pelsvet:guards directive naming a
+// non-mutex sibling (or nothing) is reported and guards nothing. (These
+// diagnostics anchor on the directive comments, which a same-line want
+// comment cannot express.)
+func TestGuardedBadDirectives(t *testing.T) {
+	loader := newTestdataLoader(t)
+	p, err := loader.load("guardedbad/app")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := analyze(loader.fset, p.files, p.pkg, p.info, []*Analyzer{Guarded})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Message)
+	}
+	wantSub := []string{
+		`pelsvet:guards names "nosuch", which is not a sync.Mutex/sync.RWMutex field of s`,
+		"pelsvet:guards directive names no mutex field",
+	}
+	if len(diags) != len(wantSub) {
+		t.Fatalf("want %d diagnostics, got %d: %v", len(wantSub), len(got), got)
+	}
+	joined := strings.Join(got, "\n")
+	for _, w := range wantSub {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing diagnostic %q in:\n%s", w, joined)
+		}
+	}
+}
+
+func TestNoAllocGolden(t *testing.T) {
+	runGolden(t, newTestdataLoader(t), "noalloc/app", NoAlloc)
+}
+
+func TestGoExitGolden(t *testing.T) {
+	loader := newTestdataLoader(t)
+	runGolden(t, loader, "goexit/app", GoExit)
+	// Package main is exempt: the same leak produces no diagnostics.
+	runGolden(t, loader, "goexit/mainbin", GoExit)
+}
+
+// TestAllowNewAnalyzers proves //pelsvet:allow works with the guarded,
+// noalloc, and goexit names: each control finding fires and its allowed
+// twin stays silent.
+func TestAllowNewAnalyzers(t *testing.T) {
+	runGolden(t, newTestdataLoader(t), "allownew/app", Guarded, NoAlloc, GoExit)
+}
+
+// TestAllowUnknownNewName proves a misspelled new-analyzer name in an
+// allow directive is reported and suppresses nothing.
+func TestAllowUnknownNewName(t *testing.T) {
+	loader := newTestdataLoader(t)
+	p, err := loader.load("allownewbad/app")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	diags := analyze(loader.fset, p.files, p.pkg, p.info, []*Analyzer{GoExit})
+	var got []string
+	for _, d := range diags {
+		got = append(got, d.Analyzer+": "+d.Message)
+	}
+	wantSub := []string{
+		`pelsvet: pelsvet:allow names unknown analyzer "guared"`,
+		"goexit: goroutine is not tied to a lifecycle",
+	}
+	if len(diags) != len(wantSub) {
+		t.Fatalf("want %d diagnostics, got %d: %v", len(wantSub), len(got), got)
+	}
+	joined := strings.Join(got, "\n")
+	for _, w := range wantSub {
+		if !strings.Contains(joined, w) {
+			t.Errorf("missing diagnostic %q in:\n%s", w, joined)
+		}
+	}
+}
+
 // TestAllowBadDirectives proves a typo'd or empty directive suppresses
 // nothing and is itself reported. (These diagnostics anchor on the
 // directive comments, which a same-line want comment cannot express.)

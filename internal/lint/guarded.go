@@ -1,0 +1,321 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// guardsDirective marks a struct field as guarded by a named sibling
+// mutex:
+//
+//	frame int //pelsvet:guards mu
+//
+// The directive may sit in the field's doc comment or its line comment.
+// The special name "-" opts a field out of inference (for fields that are
+// immutable after construction or synchronized some other way).
+const guardsDirective = "//pelsvet:guards"
+
+// Guarded enforces lock discipline on annotated (and inferred) struct
+// fields: every read or write of a guarded field must happen in a
+// function that acquires the guarding mutex on the same base expression,
+// or in a function whose name ends in "Locked" (the caller-holds-the-lock
+// convention), or on a freshly constructed value that cannot be shared
+// yet.
+//
+// Guarded fields come from two sources:
+//
+//   - explicit //pelsvet:guards <mutex> directives on field declarations;
+//   - inference: in a struct with a mutex field named "mu"
+//     (sync.Mutex or sync.RWMutex), the fields declared directly below it
+//     in the same paragraph (no blank line in between) are inferred to be
+//     guarded by it — the standard Go comment-free idiom.
+//
+// The check is deliberately flow-insensitive: a function that acquires
+// the mutex anywhere is accepted, so a lock taken on only some paths is
+// not caught (known false negative, see DESIGN.md §14). What it does
+// catch — reliably, and without needing the racy interleaving to occur
+// under -race — is the method that forgets the lock entirely.
+var Guarded = &Analyzer{
+	Name: "guarded",
+	Doc: "enforce //pelsvet:guards lock discipline: reads/writes of guarded " +
+		"struct fields must come from functions that acquire the named mutex " +
+		"(or are *Locked helpers); fields after a `mu` mutex in the same " +
+		"paragraph are inferred guarded",
+	Run: runGuarded,
+}
+
+// guardSpec records which mutex guards one struct field.
+type guardSpec struct {
+	structName string
+	fieldName  string
+	mutexName  string
+}
+
+func runGuarded(pass *Pass) {
+	guarded := collectGuards(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGuardScope(pass, guarded, fd.Name.Name, fd.Body)
+		}
+	}
+}
+
+// mutexTypeName reports whether t is sync.Mutex or sync.RWMutex.
+func mutexTypeName(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := t.String()
+	return s == "sync.Mutex" || s == "sync.RWMutex"
+}
+
+// fieldDirective extracts the //pelsvet:guards name from a field's doc or
+// line comment, if present.
+func fieldDirective(field *ast.Field) (name string, pos token.Pos, ok bool) {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, guardsDirective) {
+				continue
+			}
+			rest := strings.Fields(strings.TrimPrefix(c.Text, guardsDirective))
+			if len(rest) == 0 {
+				return "", c.Pos(), true
+			}
+			return rest[0], c.Pos(), true
+		}
+	}
+	return "", token.NoPos, false
+}
+
+// collectGuards builds the guarded-field map for one package from struct
+// declarations: explicit //pelsvet:guards directives plus mu-paragraph
+// inference. Directives naming a non-mutex (or missing) sibling are
+// reported so annotations cannot silently rot.
+func collectGuards(pass *Pass) map[*types.Var]guardSpec {
+	guarded := make(map[*types.Var]guardSpec)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok || st.Fields == nil {
+				return true
+			}
+			// Index the struct's mutex fields by name.
+			mutexes := make(map[string]bool)
+			for _, field := range st.Fields.List {
+				if mutexTypeName(pass.Info.TypeOf(field.Type)) {
+					for _, nm := range field.Names {
+						mutexes[nm.Name] = true
+					}
+				}
+			}
+			inferFrom := -1 // index after which fields are inferred guarded by "mu"
+			prevEnd := 0
+			for i, field := range st.Fields.List {
+				line := pass.Fset.Position(field.Pos()).Line
+				endLine := pass.Fset.Position(field.End()).Line
+				// A blank line (or a doc comment pushing the field down)
+				// ends the mu paragraph.
+				if inferFrom >= 0 && (line-prevEnd > 1 || field.Doc != nil) {
+					inferFrom = -1
+				}
+				prevEnd = endLine
+
+				name, dirPos, hasDir := fieldDirective(field)
+				switch {
+				case hasDir && name == "-":
+					// Explicit opt-out of inference.
+					continue
+				case hasDir && name == "":
+					pass.Reportf(dirPos, "pelsvet:guards directive names no mutex field")
+					continue
+				case hasDir && !mutexes[name]:
+					pass.Reportf(dirPos,
+						"pelsvet:guards names %q, which is not a sync.Mutex/sync.RWMutex field of %s",
+						name, ts.Name.Name)
+					continue
+				case hasDir:
+					markGuarded(pass, guarded, ts.Name.Name, field, name)
+					continue
+				}
+				if mutexTypeName(pass.Info.TypeOf(field.Type)) {
+					for _, nm := range field.Names {
+						if nm.Name == "mu" {
+							inferFrom = i
+						}
+					}
+					continue
+				}
+				if inferFrom >= 0 && i > inferFrom {
+					markGuarded(pass, guarded, ts.Name.Name, field, "mu")
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+func markGuarded(pass *Pass, guarded map[*types.Var]guardSpec, structName string, field *ast.Field, mutex string) {
+	for _, nm := range field.Names {
+		if v, ok := pass.Info.Defs[nm].(*types.Var); ok {
+			guarded[v] = guardSpec{structName: structName, fieldName: nm.Name, mutexName: mutex}
+		}
+	}
+}
+
+// checkGuardScope analyzes one function-like body. Function literals are
+// separate scopes: a closure may run on another goroutine, so a lock held
+// by the enclosing function does not cover it — each literal must acquire
+// the mutex (or be suppressed) on its own.
+func checkGuardScope(pass *Pass, guarded map[*types.Var]guardSpec, name string, body *ast.BlockStmt) {
+	type scope struct {
+		name string
+		body *ast.BlockStmt
+	}
+	queue := []scope{{name, body}}
+	for len(queue) > 0 {
+		sc := queue[0]
+		queue = queue[1:]
+
+		locked := make(map[string]bool) // "base.mutex" acquisitions in this scope
+		fresh := make(map[string]bool)  // locals holding freshly constructed values
+		reported := make(map[string]bool)
+
+		// Walk the scope, collecting lock calls and fresh locals, and
+		// queueing nested literals as their own scopes.
+		var walk func(n ast.Node) bool
+		walk = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				queue = append(queue, scope{sc.name + ".func", n.Body})
+				return false
+			case *ast.CallExpr:
+				if base, mutex, kind := lockCall(n); kind {
+					locked[base+"."+mutex] = true
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for i, rhs := range n.Rhs {
+						if i < len(n.Lhs) && isFreshValue(rhs) {
+							if id, ok := n.Lhs[i].(*ast.Ident); ok {
+								fresh[id.Name] = true
+							}
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					for _, sp := range n.Specs {
+						vs, ok := sp.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						allFresh := len(vs.Values) == 0
+						for _, v := range vs.Values {
+							allFresh = isFreshValue(v)
+							if !allFresh {
+								break
+							}
+						}
+						if allFresh {
+							for _, id := range vs.Names {
+								fresh[id.Name] = true
+							}
+						}
+					}
+				}
+			}
+			return true
+		}
+		ast.Inspect(sc.body, walk)
+
+		// *Locked helpers assume the caller holds the lock by convention.
+		if strings.HasSuffix(strings.TrimSuffix(sc.name, ".func"), "Locked") {
+			continue
+		}
+
+		ast.Inspect(sc.body, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // analyzed as its own scope
+			}
+			se, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			selInfo, ok := pass.Info.Selections[se]
+			if !ok || selInfo.Kind() != types.FieldVal {
+				return true
+			}
+			v, ok := selInfo.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			g, ok := guarded[v]
+			if !ok {
+				return true
+			}
+			base := types.ExprString(se.X)
+			if id, ok := se.X.(*ast.Ident); ok && fresh[id.Name] {
+				return true
+			}
+			if locked[base+"."+g.mutexName] {
+				return true
+			}
+			key := base + "." + g.fieldName
+			if reported[key] {
+				return true
+			}
+			reported[key] = true
+			pass.Reportf(se.Sel.Pos(),
+				"%s.%s is guarded by %q but %s never acquires %s.%s (lock it, rename the helper *Locked, or justify with //pelsvet:allow guarded)",
+				g.structName, g.fieldName, g.mutexName, sc.name, base, g.mutexName)
+			return true
+		})
+	}
+}
+
+// lockCall matches base.mutex.Lock() / base.mutex.RLock() and returns the
+// rendered base expression and mutex field name.
+func lockCall(call *ast.CallExpr) (base, mutex string, ok bool) {
+	outer, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel || (outer.Sel.Name != "Lock" && outer.Sel.Name != "RLock") {
+		return "", "", false
+	}
+	inner, isSel := outer.X.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	return types.ExprString(inner.X), inner.Sel.Name, true
+}
+
+// isFreshValue reports whether e constructs a brand-new value (composite
+// literal, optionally behind &) that cannot yet be shared with another
+// goroutine, so unguarded initialization of its fields is safe.
+func isFreshValue(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			_, isLit := e.X.(*ast.CompositeLit)
+			return isLit
+		}
+	}
+	return false
+}

@@ -10,7 +10,13 @@
 //   - control-loop code never compares floats with == / != (floateq
 //     analyzer),
 //   - quantities with units (bit rates, durations) are not mixed or fed
-//     raw untyped constants (unitmix analyzer).
+//     raw untyped constants (unitmix analyzer),
+//   - struct fields annotated (or inferred) as mutex-guarded are only
+//     touched under their lock (guarded analyzer),
+//   - //pelsvet:noalloc hot-path functions contain no allocating
+//     constructs (noalloc analyzer),
+//   - every spawned goroutine outside package main is tied to a
+//     lifecycle — ctx, WaitGroup, or channel (goexit analyzer).
 //
 // Diagnostics may be suppressed with a justification comment:
 //
@@ -79,7 +85,7 @@ func (d Diagnostic) String() string {
 
 // Analyzers returns every registered analyzer, in stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{WallTime, SeededRand, FloatEq, UnitMix}
+	return []*Analyzer{WallTime, SeededRand, FloatEq, UnitMix, Guarded, NoAlloc, GoExit}
 }
 
 // Select resolves a list of analyzer names. An empty list selects every

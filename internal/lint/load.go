@@ -3,6 +3,7 @@ package lint
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -14,6 +15,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"sync"
 )
 
@@ -33,8 +35,12 @@ type listedPackage struct {
 // build cache, which is what lets the type checker resolve imports without
 // re-typechecking the world from source.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
+	// -e keeps the listing alive when a package is broken: the broken
+	// package simply lists without export data, its parse/typecheck error
+	// surfaces per package in checkPackage, and every healthy package is
+	// still analyzed (Runner.Run returns partial diagnostics + the errors).
 	args := []string{
-		"list", "-deps", "-export",
+		"list", "-deps", "-e", "-export",
 		"-json=ImportPath,Name,Dir,GoFiles,Export,DepOnly",
 	}
 	args = append(args, patterns...)
@@ -148,6 +154,12 @@ type Runner struct {
 // Test files are not analyzed: tests legitimately use wall clocks and ad
 // hoc randomness, and the determinism contract applies to the simulator
 // itself.
+//
+// A package that fails to parse or type-check does not abort the run: the
+// remaining packages are still analyzed, their diagnostics are returned,
+// and the per-package errors come back joined as the error value. Callers
+// therefore must consume the diagnostics even when err != nil — one broken
+// package must not hide the findings in ninety-nine healthy ones.
 func (r *Runner) Run(dir string, patterns ...string) ([]Diagnostic, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -183,10 +195,10 @@ func (r *Runner) Run(dir string, patterns ...string) ([]Diagnostic, error) {
 	}
 
 	var (
-		mu       sync.Mutex
-		diags    []Diagnostic
-		firstErr error
-		wg       sync.WaitGroup
+		mu    sync.Mutex
+		diags []Diagnostic
+		errs  []error
+		wg    sync.WaitGroup
 	)
 	jobs := make(chan listedPackage)
 	for w := 0; w < workers; w++ {
@@ -196,8 +208,8 @@ func (r *Runner) Run(dir string, patterns ...string) ([]Diagnostic, error) {
 			for p := range jobs {
 				ds, err := checkPackage(fset, imp, p, analyzers)
 				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+				if err != nil {
+					errs = append(errs, err)
 				}
 				diags = append(diags, ds...)
 				mu.Unlock()
@@ -209,11 +221,11 @@ func (r *Runner) Run(dir string, patterns ...string) ([]Diagnostic, error) {
 	}
 	close(jobs)
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
-	}
 	SortDiagnostics(diags)
-	return diags, nil
+	// Workers finish in scheduler order; sort the errors so the joined
+	// message is as deterministic as the diagnostics.
+	sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+	return diags, errors.Join(errs...)
 }
 
 // checkPackage parses and type-checks one package from source, then runs

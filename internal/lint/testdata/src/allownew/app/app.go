@@ -1,0 +1,40 @@
+// Package app exercises //pelsvet:allow against the concurrency and
+// allocation analyzers: each pair has an unsuppressed finding (the
+// control) and an allowed twin that must stay silent.
+package app
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) Bad() int {
+	return c.n // want "counter\.n is guarded by \"mu\" but Bad never acquires c\.mu"
+}
+
+func (c *counter) Snapshot() int {
+	//pelsvet:allow guarded stats snapshot tolerates one stale read
+	return c.n
+}
+
+//pelsvet:noalloc
+func bad() []int {
+	return make([]int, 16) // want "make allocates"
+}
+
+//pelsvet:noalloc
+func warm() []int {
+	//pelsvet:allow noalloc one-time warm-up buffer, not on the hot path
+	return make([]int, 16)
+}
+
+func leak() {
+	go func() { _ = 1 }() // want "goroutine is not tied to a lifecycle"
+}
+
+func detach() {
+	//pelsvet:allow goexit process-lifetime logger, bounded by main exit
+	go func() { _ = 1 }()
+}

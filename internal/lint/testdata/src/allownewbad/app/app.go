@@ -1,0 +1,10 @@
+// Package app holds misspelled allow directives for the new analyzer
+// names: the typo is reported and suppresses nothing. (Checked
+// programmatically — these diagnostics anchor on the directive comment,
+// which a same-line want comment cannot express.)
+package app
+
+func typo() {
+	//pelsvet:allow guared misspelled name suppresses nothing
+	go func() { _ = 1 }()
+}

@@ -1,0 +1,69 @@
+// Package app exercises the goexit analyzer: goroutines with no
+// lifecycle are flagged; ctx/WaitGroup/channel evidence — in the spawn
+// arguments, the closure body, or a same-package named callee — clears
+// them.
+package app
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func Leak() {
+	go func() { // want "goroutine is not tied to a lifecycle"
+		x := 0
+		_ = x
+	}()
+}
+
+func spin() {}
+
+func LeakNamed() {
+	go spin() // want "goroutine is not tied to a lifecycle"
+}
+
+func LeakForeign() {
+	go fmt.Println("fire and forget") // want "goroutine is not tied to a lifecycle"
+}
+
+func WithCtx(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func WithWG(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+func WithQuit(quit chan struct{}) {
+	go func() {
+		<-quit
+	}()
+}
+
+func WithSelect(a chan int, b chan int) {
+	go func() {
+		select {
+		case <-a:
+		case b <- 1:
+		}
+	}()
+}
+
+// ArgLifecycle hands the ctx to a callee: evidence at the spawn site.
+func ArgLifecycle(ctx context.Context, f func(context.Context)) {
+	go f(ctx)
+}
+
+type looper struct{ done chan struct{} }
+
+// run blocks on the done channel; the one-level callee scan sees it.
+func (l *looper) run() { <-l.done }
+
+func OKNamed(l *looper) {
+	go l.run()
+}

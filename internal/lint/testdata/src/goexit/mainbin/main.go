@@ -1,0 +1,10 @@
+// Package main proves the goexit exemption: goroutines in main packages
+// die with the process, so nothing here is flagged.
+package main
+
+func main() {
+	go func() {
+		x := 0
+		_ = x
+	}()
+}

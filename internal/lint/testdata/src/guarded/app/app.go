@@ -1,0 +1,93 @@
+// Package app exercises the guarded analyzer: mu-paragraph inference,
+// explicit //pelsvet:guards directives, the *Locked convention, fresh
+// locals, per-closure scoping, and base-expression matching.
+package app
+
+import "sync"
+
+type counter struct {
+	mu   sync.Mutex
+	hits int
+	last string
+
+	total int //pelsvet:guards mu
+
+	free int
+}
+
+// Good locks before touching inferred and annotated fields.
+func (c *counter) Good() (int, string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total++
+	return c.hits, c.last
+}
+
+// incrLocked relies on the caller holding the lock — the *Locked suffix
+// convention keeps it clean.
+func (c *counter) incrLocked() { c.hits++ }
+
+func (c *counter) Bad() int {
+	return c.hits // want "counter\.hits is guarded by \"mu\" but Bad never acquires c\.mu"
+}
+
+func (c *counter) BadAnnotated() {
+	c.total++ // want "counter\.total is guarded by \"mu\" but BadAnnotated never acquires c\.mu"
+}
+
+// Free is past the blank line: not in the mu paragraph, not guarded.
+func (c *counter) Free() int { return c.free }
+
+// New initializes a fresh, unshared value — no lock needed.
+func New() *counter {
+	c := &counter{}
+	c.hits = 7
+	return c
+}
+
+// Closure shows per-scope analysis: the method holds the lock, but the
+// returned closure may run after Unlock, so it must lock on its own.
+func (c *counter) Closure() func() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return func() int {
+		return c.hits // want "counter\.hits is guarded by \"mu\" but Closure\.func never acquires c\.mu"
+	}
+}
+
+// transfer locks a but touches b: base expressions must match.
+func transfer(a, b *counter) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.hits++
+	b.hits-- // want "counter\.hits is guarded by \"mu\" but transfer never acquires b\.mu"
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// Get read-locks: RLock satisfies the guard too.
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+func (t *table) BadGet(k string) int {
+	return t.m[k] // want "table\.m is guarded by \"mu\" but BadGet never acquires t\.mu"
+}
+
+type optout struct {
+	mu  sync.Mutex
+	reg *int //pelsvet:guards -
+	n   int
+}
+
+// ReadReg is fine: reg explicitly opted out of inference.
+func (o *optout) ReadReg() *int { return o.reg }
+
+func (o *optout) ReadN() int {
+	return o.n // want "optout\.n is guarded by \"mu\" but ReadN never acquires o\.mu"
+}

@@ -1,0 +1,19 @@
+// Package app holds malformed //pelsvet:guards directives: naming a
+// non-mutex sibling or nothing at all is reported, so annotations cannot
+// silently rot. (Checked programmatically — the diagnostics anchor on
+// the directive comments.)
+package app
+
+import "sync"
+
+type s struct {
+	mu sync.Mutex
+
+	//pelsvet:guards nosuch
+	a int
+
+	//pelsvet:guards
+	b int
+}
+
+func (x *s) use() (int, int) { return x.a, x.b }

@@ -1,0 +1,63 @@
+// Package app exercises the noalloc analyzer: every allocating construct
+// it knows, the error bail-out exemption, and the unannotated default.
+package app
+
+import "fmt"
+
+type pair struct{ a, b int }
+
+type ticker struct{}
+
+func (ticker) tick() {}
+
+func box(v interface{}) { _ = v }
+
+// Hot follows the contract: append to a caller-provided buffer, with
+// fmt.Errorf confined to bail-out branches.
+//
+//pelsvet:noalloc
+func Hot(dst []byte, v byte) ([]byte, error) {
+	if v == 0 {
+		return nil, fmt.Errorf("noalloc: zero value %d", v) // cold error path: allowed
+	}
+	dst = append(dst, v)
+	return dst, nil
+}
+
+// Pick panics on bad input — panic branches are bail-outs too.
+//
+//pelsvet:noalloc
+func Pick(k int) int {
+	switch k {
+	case 0:
+		panic(fmt.Sprintf("noalloc: bad k %d", k)) // cold panic path: allowed
+	}
+	return k
+}
+
+//pelsvet:noalloc
+func Bad(n int, name string) int {
+	s := make([]int, n) // want "make allocates"
+	var acc []int
+	acc = append(acc, n)         // want "append to acc, a slice with no preallocated capacity"
+	f := func() int { return n } // want "function literal \(closure\) allocates"
+	m := map[string]int{"x": 1}  // want "map literal allocates"
+	l := []int{1, 2}             // want "slice literal allocates"
+	p := &pair{a: n}             // want "&composite literal may escape"
+	greeting := name + "!"       // want "string concatenation allocates"
+	raw := []byte(name)          // want "string-to-slice conversion allocates"
+	back := string(raw)          // want "conversion to string allocates"
+	_ = fmt.Sprintf("%d", n)     // want "fmt\.Sprintf allocates"
+	box(n)                       // want "argument boxes int into interface"
+	t := ticker{}
+	tick := t.tick // want "method value t\.tick allocates"
+	_, _, _, _, _, _, _ = f, m, l, p, greeting, back, tick
+	_ = acc
+	return len(s)
+}
+
+// Cold has no directive: the same constructs are legal.
+func Cold(n int) []int {
+	out := make([]int, 0, n)
+	return append(out, n)
+}

@@ -7,11 +7,14 @@ import (
 
 // deterministicPkgs names the packages (by final import-path segment) that
 // form the deterministic simulation core: everything inside them must be a
-// pure function of the simulation seed. Only internal/wire,
-// internal/runner, and the cmd/ binaries may touch the wall clock; they
-// sit outside this set. internal/obs is included: it serves both sides,
-// so its call paths must never read the clock themselves — callers pass
-// every timestamp in (sim time or a wall-clock offset).
+// pure function of the simulation seed. Only internal/wire and the cmd/
+// binaries may touch the wall clock freely; they sit outside this set.
+// internal/obs is included: it serves both sides, so its call paths must
+// never read the clock themselves — callers pass every timestamp in (sim
+// time or a wall-clock offset). internal/runner and internal/perf are
+// included too: the runner's deadline clocks are the one sanctioned
+// exception (each carries a justifying //pelsvet:allow), and perf must
+// compute from parsed benchmark records, never from live timing.
 var deterministicPkgs = map[string]bool{
 	"sim":          true,
 	"netsim":       true,
@@ -31,6 +34,13 @@ var deterministicPkgs = map[string]bool{
 	// production), so the wheel/table/batcher core is testable on a
 	// virtual clock.
 	"session": true,
+	// perf post-processes benchmark output: its numbers must come from the
+	// parsed records, never from a live clock.
+	"perf": true,
+	// runner hosts the worker pool; its wall-clock uses (job duration
+	// metadata, per-job timeout timers) are individually justified with
+	// //pelsvet:allow — anything new must justify itself the same way.
+	"runner": true,
 }
 
 // walltimeBanned lists the package time functions that read or wait on the
@@ -57,8 +67,8 @@ var WallTime = &Analyzer{
 	Name: "walltime",
 	Doc: "forbid time.Now/Sleep/After/Since and timer constructors in the " +
 		"deterministic simulation packages (sim, netsim, queue, aqm, cc, pels, " +
-		"fgs, crosstraffic, tcp, video, stats, obs, fault, session); only internal/wire, " +
-		"internal/runner, and cmd/ may touch the wall clock",
+		"fgs, crosstraffic, tcp, video, stats, obs, fault, session, perf, " +
+		"runner); only internal/wire and cmd/ may touch the wall clock",
 	Run: runWallTime,
 }
 

@@ -103,7 +103,7 @@ func NewRegistry() *Registry {
 	}
 }
 
-func (r *Registry) claim(name, kind string) {
+func (r *Registry) claimLocked(name, kind string) {
 	if name == "" {
 		panic("obs: empty metric name")
 	}
@@ -117,7 +117,7 @@ func (r *Registry) claim(name, kind string) {
 func (r *Registry) Counter(name string) *Counter {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.claim(name, "counter")
+	r.claimLocked(name, "counter")
 	c, ok := r.counters[name]
 	if !ok {
 		c = &Counter{}
@@ -130,7 +130,7 @@ func (r *Registry) Counter(name string) *Counter {
 func (r *Registry) Gauge(name string) *Gauge {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.claim(name, "gauge")
+	r.claimLocked(name, "gauge")
 	g, ok := r.gauges[name]
 	if !ok {
 		g = &Gauge{}
@@ -149,7 +149,7 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.claim(name, "gaugefunc")
+	r.claimLocked(name, "gaugefunc")
 	r.gaugeFns[name] = fn
 }
 
@@ -158,7 +158,7 @@ func (r *Registry) GaugeFunc(name string, fn func() float64) {
 func (r *Registry) Histogram(name string) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.claim(name, "histogram")
+	r.claimLocked(name, "histogram")
 	h, ok := r.hists[name]
 	if !ok {
 		h = &Histogram{}
@@ -172,7 +172,7 @@ func (r *Registry) Histogram(name string) *Histogram {
 func (r *Registry) Series(name string) *Series {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.claim(name, "series")
+	r.claimLocked(name, "series")
 	s, ok := r.series[name]
 	if !ok {
 		s = &Series{ts: stats.NewTimeSeries(name)}

@@ -27,6 +27,8 @@ func (s *Series) Add(at time.Duration, v float64) {
 }
 
 // Name returns the series name.
+//
+//pelsvet:allow guarded ts is a write-once pointer; Name reads the immutable name, not the samples
 func (s *Series) Name() string { return s.ts.Name }
 
 // Len returns the number of samples.
@@ -59,4 +61,6 @@ func (s *Series) Snapshot() *stats.TimeSeries {
 // for single-threaded consumers — the simulator experiments, which analyze
 // series after (or between) engine runs on one goroutine. Concurrent
 // readers must use Snapshot instead.
+//
+//pelsvet:allow guarded single-threaded accessor by contract (see doc); concurrent readers use Snapshot
 func (s *Series) TimeSeries() *stats.TimeSeries { return s.ts }

@@ -144,6 +144,7 @@ func (p *Pool) execute(job Job) Result {
 	}
 
 	done := make(chan outcome, 1)
+	//pelsvet:allow walltime job duration is reporting metadata about a real run, not simulation state
 	start := time.Now()
 	go func() {
 		defer func() {
@@ -160,12 +161,14 @@ func (p *Pool) execute(job Job) Result {
 
 	var expired <-chan time.Time
 	if timeout > 0 {
+		//pelsvet:allow walltime the per-job timeout bounds real execution; the jobs themselves stay seed-deterministic
 		t := time.NewTimer(timeout)
 		defer t.Stop()
 		expired = t.C
 	}
 	select {
 	case o := <-done:
+		//pelsvet:allow walltime measured wall duration of the finished job, reported not simulated
 		res.Duration = time.Since(start)
 		res.Text = o.out.Text
 		res.Events = o.out.Events
@@ -173,6 +176,7 @@ func (p *Pool) execute(job Job) Result {
 		res.Err = o.err
 		res.Panicked = o.panicked
 	case <-expired:
+		//pelsvet:allow walltime measured wall duration at timeout, reported not simulated
 		res.Duration = time.Since(start)
 		res.TimedOut = true
 		res.Err = fmt.Errorf("runner: job %s (seed %d) timed out after %v", job.Name, job.Seed, timeout)

@@ -48,6 +48,8 @@ func NewBatcher(count int, maxWait time.Duration) *Batcher {
 
 // Add appends one item at instant now. It returns the full batch when the
 // count threshold is reached, nil otherwise.
+//
+//pelsvet:noalloc
 func (b *Batcher) Add(it FeedbackItem, now time.Time) []FeedbackItem {
 	if len(b.items) == 0 {
 		b.firstAt = now
@@ -62,6 +64,8 @@ func (b *Batcher) Add(it FeedbackItem, now time.Time) []FeedbackItem {
 // Due returns the pending batch when its oldest item has waited maxWait
 // or longer, nil otherwise. The demux loop calls it after every read and
 // every read timeout.
+//
+//pelsvet:noalloc
 func (b *Batcher) Due(now time.Time) []FeedbackItem {
 	if len(b.items) == 0 || now.Sub(b.firstAt) < b.maxWait {
 		return nil
@@ -82,6 +86,7 @@ func (b *Batcher) Deadline() (time.Time, bool) {
 // Pending returns the number of buffered items.
 func (b *Batcher) Pending() int { return len(b.items) }
 
+//pelsvet:noalloc
 func (b *Batcher) take() []FeedbackItem {
 	out := b.items
 	b.items = b.spare[:0]

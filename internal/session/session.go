@@ -169,22 +169,22 @@ type Session struct {
 	buf     []byte // encoded datagram scratch; reused across pumps
 	payload []byte
 
-	frame    int // next frame number to plan
-	plan     fgs.PacketPlan
-	planIdx  int
-	reserved bool // buf holds an encoded, pacer-charged datagram
+	frame    int            //pelsvet:guards mu — next frame number to plan
+	plan     fgs.PacketPlan //pelsvet:guards mu
+	planIdx  int            //pelsvet:guards mu
+	reserved bool           //pelsvet:guards mu — buf holds an encoded, pacer-charged datagram
 
 	// Shared aggregate counters (one pair per server, not per session);
 	// nil when the server runs without a registry.
 	aggDatagrams *obs.Counter
 	aggBytes     *obs.Counter
 
-	degrade        float64
-	lastFeedbackAt time.Time
-	lastDecayAt    time.Time
-	lastActivity   time.Time
-	lastRouterID   int
-	haveRouter     bool
+	degrade        float64   //pelsvet:guards mu
+	lastFeedbackAt time.Time //pelsvet:guards mu
+	lastDecayAt    time.Time //pelsvet:guards mu
+	lastActivity   time.Time //pelsvet:guards mu
+	lastRouterID   int       //pelsvet:guards mu
+	haveRouter     bool      //pelsvet:guards mu
 }
 
 // NewSession builds a session streaming to peer through out, with its

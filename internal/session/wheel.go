@@ -22,9 +22,10 @@ import (
 // the caller rather than invoked under the wheel lock, so callbacks may
 // schedule freely.
 type Wheel struct {
+	tick time.Duration // immutable after NewWheel
+	mask int           // immutable after NewWheel
+
 	mu       sync.Mutex
-	tick     time.Duration
-	mask     int
 	slots    [][]*Timer
 	cursor   int
 	cursorAt time.Time // boundary instant of the cursor slot
@@ -83,7 +84,10 @@ func (w *Wheel) Len() int {
 // Schedule arms a new timer firing at instant at (past instants fire on
 // the next tick). The callback is retained for the timer's lifetime and
 // reused across Reschedule calls.
+//
+//pelsvet:noalloc
 func (w *Wheel) Schedule(at time.Time, fn func(now time.Time)) *Timer {
+	//pelsvet:allow noalloc one Timer per session lifetime; the steady state reuses it via Reschedule
 	t := &Timer{fn: fn, done: true}
 	w.Reschedule(t, at)
 	return t
@@ -92,6 +96,8 @@ func (w *Wheel) Schedule(at time.Time, fn func(now time.Time)) *Timer {
 // Reschedule re-arms a fired or cancelled timer at a new instant. It
 // panics if the timer is still live: a session has exactly one pending
 // deadline, and silently double-arming would corrupt the wheel count.
+//
+//pelsvet:noalloc
 func (w *Wheel) Reschedule(t *Timer, at time.Time) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -129,6 +135,8 @@ func (w *Wheel) Cancel(t *Timer) bool {
 // before now to fired and returning the extended slice. Timers hashed
 // into a walked slot whose deadline is laps away stay put. The caller
 // invokes the returned timers (Timer.Call) outside the wheel lock.
+//
+//pelsvet:noalloc
 func (w *Wheel) Advance(now time.Time, fired []*Timer) []*Timer {
 	w.mu.Lock()
 	defer w.mu.Unlock()

@@ -59,6 +59,7 @@ func (q *calQueue) windowEnd(at time.Duration) time.Duration {
 	return at - at%q.width + q.width
 }
 
+//pelsvet:noalloc
 func (q *calQueue) push(ev *Event) {
 	if q.count >= 2*len(q.buckets) {
 		q.resize(2 * len(q.buckets))
@@ -78,6 +79,8 @@ func (q *calQueue) push(ev *Event) {
 // insert places ev into its bucket, keeping the bucket sorted descending
 // by (at, seq). Bucket occupancy is O(1) on average (resize holds
 // count <= 2·buckets), so the memmove is short.
+//
+//pelsvet:noalloc
 func (q *calQueue) insert(ev *Event) {
 	i := q.idx(ev.at)
 	b := q.buckets[i]
@@ -96,6 +99,7 @@ func (q *calQueue) insert(ev *Event) {
 	q.buckets[i] = b
 }
 
+//pelsvet:noalloc
 func (q *calQueue) pop() *Event {
 	if q.count == 0 {
 		return nil

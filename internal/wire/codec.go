@@ -100,6 +100,8 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // means a corrupted datagram can never reach per-color sequence
 // accounting — corruption becomes loss, which the control loops already
 // handle.
+//
+//pelsvet:noalloc
 func crcOf(b []byte) uint32 {
 	sum := crc32.Update(0, crcTable, b[:offCRC])
 	sum = crc32.Update(sum, crcTable, crcZero[:])
@@ -158,6 +160,8 @@ func (h Header) validate() error {
 
 // AppendDatagram encodes h and payload onto dst and returns the extended
 // slice. It fails on invalid headers or payloads longer than MaxPayload.
+//
+//pelsvet:noalloc
 func AppendDatagram(dst []byte, h Header, payload []byte) ([]byte, error) {
 	if err := h.validate(); err != nil {
 		return dst, err
@@ -202,6 +206,8 @@ func EncodeDatagram(h Header, payload []byte) ([]byte, error) {
 // DecodeDatagram parses one datagram. The returned payload aliases b.
 // Truncated, oversized, or otherwise malformed input yields an error —
 // never a panic — and a successful decode re-encodes byte-identically.
+//
+//pelsvet:noalloc
 func DecodeDatagram(b []byte) (Header, []byte, error) {
 	var h Header
 	if len(b) < HeaderSize {

@@ -102,7 +102,7 @@ func (g *Gateway) Mark(b []byte) bool {
 		return false
 	}
 	g.mu.Lock()
-	g.advance(g.cfg.Now())
+	g.advanceLocked(g.cfg.Now())
 	g.bytes += int64(len(b))
 	fb := packet.Feedback{RouterID: g.cfg.RouterID, Epoch: g.epoch, Loss: g.loss, Valid: true}
 	g.stamped++
@@ -134,10 +134,10 @@ func (g *Gateway) Priority(b []byte) int {
 	}
 }
 
-// advance closes measurement windows that have fully elapsed by now,
+// advanceLocked closes measurement windows that have fully elapsed by now,
 // computing eq. (11) over the real window length: R = S/elapsed,
 // p = (R−C)/R, z = z+1, S = 0.
-func (g *Gateway) advance(now time.Time) {
+func (g *Gateway) advanceLocked(now time.Time) {
 	if !g.started {
 		g.windowStart = now
 		g.started = true

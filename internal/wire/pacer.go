@@ -54,7 +54,7 @@ func NewPacer(rate units.BitRate, burstBytes int) *Pacer {
 func (p *Pacer) SetRate(rate units.BitRate, now time.Time) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.settle(now)
+	p.settleLocked(now)
 	p.setRateLocked(rate)
 }
 
@@ -84,13 +84,15 @@ func (p *Pacer) Burst() int {
 // immediately). The bytes are charged unconditionally, so calls must be
 // followed by a send; the returned wait is exactly the time for the
 // bucket debt to refill at the current rate.
+//
+//pelsvet:noalloc
 func (p *Pacer) Reserve(n int, now time.Time) time.Duration {
 	if n <= 0 {
 		return 0
 	}
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.settle(now)
+	p.settleLocked(now)
 	p.tokens -= float64(n)
 	if p.tokens >= 0 {
 		return 0
@@ -98,10 +100,10 @@ func (p *Pacer) Reserve(n int, now time.Time) time.Duration {
 	return time.Duration(-p.tokens * 8 / float64(p.rate) * float64(time.Second))
 }
 
-// settle accrues credit for the time elapsed since the last settlement.
+// settleLocked accrues credit for the time elapsed since the last settlement.
 // A clock that jumps backward contributes nothing (elapsed clamps to 0);
 // a clock that jumps far forward is bounded by the burst cap.
-func (p *Pacer) settle(now time.Time) {
+func (p *Pacer) settleLocked(now time.Time) {
 	if !p.set {
 		p.last = now
 		p.set = true

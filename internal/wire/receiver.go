@@ -127,9 +127,9 @@ type Receiver struct {
 	peer      net.Addr
 
 	// Liveness probe state.
-	lastData  time.Time
-	lastProbe time.Time
-	probeWait time.Duration
+	lastData  time.Time     //pelsvet:guards mu
+	lastProbe time.Time     //pelsvet:guards mu
+	probeWait time.Duration //pelsvet:guards mu
 
 	obsDatagrams *obs.Counter
 	obsBytes     *obs.Counter
@@ -141,7 +141,7 @@ type Receiver struct {
 	// Echo write path: wmu serializes encode+send so encBuf can be
 	// reused across echoes instead of allocating one buffer per ACK.
 	wmu    sync.Mutex
-	encBuf []byte
+	encBuf []byte //pelsvet:guards wmu
 }
 
 // sendEcho encodes h into the reusable echo buffer and writes it to peer.

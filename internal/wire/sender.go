@@ -143,20 +143,24 @@ type Sender struct {
 	conn net.PacketConn
 	peer net.Addr
 
+	// pacer is internally synchronized (it has its own mutex): Run
+	// reserves pacing debt without holding mu, so it deliberately sits
+	// outside the mu paragraph.
+	pacer *Pacer
+
 	mu    sync.Mutex
 	ctrl  cc.Controller
 	gamma *fgs.Gamma
 	pk    *fgs.Packetizer
-	pacer *Pacer
 	seq   map[packet.Color]uint64
 	stats SenderStats
 
 	// Stale-feedback watchdog and feedback-discontinuity state.
-	degrade        float64 // effective-rate multiplier, 1 when fresh
-	lastFeedbackAt time.Time
-	lastDecayAt    time.Time
-	lastRouterID   int
-	haveRouter     bool
+	degrade        float64   //pelsvet:guards mu — effective-rate multiplier, 1 when fresh
+	lastFeedbackAt time.Time //pelsvet:guards mu
+	lastDecayAt    time.Time //pelsvet:guards mu
+	lastRouterID   int       //pelsvet:guards mu
+	haveRouter     bool      //pelsvet:guards mu
 
 	start           time.Time
 	obsDatagrams    *obs.Counter
