@@ -57,8 +57,8 @@ bench:
 # repeated -count times; perfdiff -emit -best keeps the min-ns/max-allocs
 # figure of the repeats, the noise-robust statistic for gating. The
 # repo-level figure benchmarks run once and are recorded, not gated.
-BENCH_V      := 8
-BENCH_MICRO  := ^Benchmark(Wire|Gateway|Pacer|Sim|Netsim|Session)
+BENCH_V      := 9
+BENCH_MICRO  := ^Benchmark(Wire|Gateway|Pacer|Sim|Netsim|Session|Plan|Priority)
 BENCH_MACRO  := ^BenchmarkMacro
 # Gated names must all exist in every fresh report the CI bench job makes
 # (it only re-runs ./internal/perf), so the gate spells out the perf-package
@@ -66,7 +66,7 @@ BENCH_MACRO  := ^BenchmarkMacro
 # BenchmarkSimulatorThroughput. MacroEngineSeedHeap is recorded but not
 # gated: it benchmarks the retained *reference* implementation (GC-heavy,
 # load-sensitive), and the gate protects the paths the repo actually runs.
-BENCH_GATE   := ^Benchmark(Wire|GatewayMark|PacerReserve|Sim(Heap)?Schedule|NetsimTransit|MacroEngineCalendar|Session(TableLookup|WheelAdvance|FeedbackBatch))
+BENCH_GATE   := ^Benchmark(Wire|GatewayMark|PacerReserve|Sim(Heap)?Schedule|NetsimTransit|MacroEngineCalendar|Session(TableLookup|WheelAdvance|FeedbackBatch)|PlanShare|PlanLayers8|PriorityClassify)
 
 define BENCH_RUN
 { go test -run '^$$' -bench '$(BENCH_MICRO)' -benchtime=1000x -count=10 -benchmem ./internal/perf && \
@@ -92,6 +92,7 @@ cover:
 
 fuzz:
 	go test -fuzz=FuzzDecoder -fuzztime=10s ./internal/fgs/
+	go test -run '^$$' -fuzz '^FuzzPlanLayers$$' -fuzztime=10s ./internal/fgs/
 	go test -run '^$$' -fuzz '^FuzzDecodeDatagram$$' -fuzztime=10s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzHeaderRoundTrip$$' -fuzztime=10s ./internal/wire/
 	go test -run '^$$' -fuzz '^FuzzCorruption$$' -fuzztime=10s ./internal/wire/

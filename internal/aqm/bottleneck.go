@@ -13,7 +13,8 @@ type BottleneckConfig struct {
 	// 50%/50%).
 	PELSWeight     float64
 	InternetWeight float64
-	// Priority sizes the three PELS color buffers.
+	// Priority sizes the PELS layer buffers (the paper's three colors by
+	// default; set Priority.LayerLimits for an N-layer bottleneck).
 	Priority queue.PriorityConfig
 	// InternetLimit is the Internet FIFO buffer in packets.
 	InternetLimit int
@@ -34,15 +35,15 @@ func DefaultBottleneckConfig() BottleneckConfig {
 type Bottleneck struct {
 	// Disc is the full WRR discipline to attach to the bottleneck link.
 	Disc *queue.WRR
-	// PELS is the strict-priority color queue set.
+	// PELS is the strict-priority layer queue set.
 	PELS *queue.Priority
 	// Internet is the FIFO serving non-PELS traffic.
 	Internet *queue.DropTail
 }
 
 // NewBottleneck assembles the PELS queue structure of paper Fig. 4 (left):
-// green/yellow/red strict-priority queues for PELS packets and a FIFO for
-// everything else, scheduled by WRR.
+// strict-priority layer queues (green/yellow/red in the 3-layer default)
+// for PELS packets and a FIFO for everything else, scheduled by WRR.
 func NewBottleneck(cfg BottleneckConfig) *Bottleneck {
 	prio := queue.NewPriority(cfg.Priority)
 	internet := queue.NewDropTail(cfg.InternetLimit, 0)
@@ -80,7 +81,7 @@ type BestEffortBottleneck struct {
 // is sampled per arriving packet; wiring it to Feedback.Loss makes drops
 // follow the measured congestion level.
 func NewBestEffortBottleneck(cfg BottleneckConfig, loss func() float64, rng *rand.Rand) *BestEffortBottleneck {
-	video := queue.NewOracleFIFO(cfg.Priority.YellowLimit+cfg.Priority.RedLimit, loss, rng)
+	video := queue.NewOracleFIFO(cfg.Priority.EnhancementCapacity(), loss, rng)
 	internet := queue.NewDropTail(cfg.InternetLimit, 0)
 	wrr := queue.MustNewWRR(
 		queue.WRRClass{

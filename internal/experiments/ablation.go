@@ -67,10 +67,10 @@ func Ablations(cfg AblationConfig) ([]AblationResult, error) {
 			tc.Session.MKC = mkc
 		}},
 		{"fixed-gamma-low", func(tc *TestbedConfig) {
-			tc.Session.Gamma = fgs.GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0.03, Min: 0.03, Max: 0.03, Clamp: true}
+			tc.Session.Gamma = fgs.GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0.03, Min: 0.03, Max: 0.03, Clamp: true, AllowUnstable: true}
 		}},
 		{"fixed-gamma-high", func(tc *TestbedConfig) {
-			tc.Session.Gamma = fgs.GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0.4, Min: 0.4, Max: 0.4, Clamp: true}
+			tc.Session.Gamma = fgs.GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0.4, Min: 0.4, Max: 0.4, Clamp: true, AllowUnstable: true}
 		}},
 		{"gamma-enh-share", func(tc *TestbedConfig) {
 			tc.Session.RedShare = fgs.RedShareEnhancement
@@ -82,7 +82,7 @@ func Ablations(cfg AblationConfig) ([]AblationResult, error) {
 			// A QBSS-like two-class scheme (§2.1): base layer protected,
 			// the whole enhancement in one (yellow) class with no red
 			// probes. Congestion then tail-drops yellow directly.
-			tc.Session.Gamma = fgs.GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0, Min: 0, Max: 0, Clamp: true}
+			tc.Session.Gamma = fgs.GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0, Min: 0, Max: 0, Clamp: true, AllowUnstable: true}
 		}},
 		{"aimd-controller", func(tc *TestbedConfig) {
 			// PELS is explicitly independent of the congestion controller

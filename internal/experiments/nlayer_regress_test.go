@@ -1,0 +1,75 @@
+package experiments
+
+import "testing"
+
+// Pinned 3-layer outputs captured on the commit immediately before the
+// N-layer generalization. The refactor's contract is that the classic
+// green/yellow/red configuration remains bit-exact: same event counts,
+// same SHA-256 over the full observability CSV, same figure-7 metrics.
+const (
+	pinnedChaosFingerprint = "3f0110c19efdbcc800b56f517703aa1cafc3e3fbbcbdc30ebe125418550eea77"
+	pinnedChaosEvents      = 207473
+)
+
+// TestChaosFingerprintPinnedAcrossLayerRefactor runs the full chaos
+// testbed (fault plans, gateway swap, every control loop live) and
+// compares the observability CSV hash against the pre-refactor pin.
+func TestChaosFingerprintPinnedAcrossLayerRefactor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full chaos run in -short mode")
+	}
+	res, err := ChaosTestbed(DefaultChaosTestbedConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != pinnedChaosEvents {
+		t.Errorf("chaos event count = %d, want pinned %d", res.Events, pinnedChaosEvents)
+	}
+	if res.Fingerprint != pinnedChaosFingerprint {
+		t.Errorf("chaos fingerprint diverged from pre-refactor pin:\ngot  %s\nwant %s",
+			res.Fingerprint, pinnedChaosFingerprint)
+	}
+}
+
+// TestFigure7MetricsPinnedAcrossLayerRefactor pins the figure-7 scaling
+// runs (4 and 8 flows, 120 s) to their pre-refactor values. Floats are
+// compared exactly: the 3-layer code path must execute the identical
+// sequence of operations.
+func TestFigure7MetricsPinnedAcrossLayerRefactor(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure-7 runs in -short mode")
+	}
+	pinned := map[int]struct {
+		measured, gammaTail, redLossTail float64
+		events                           uint64
+	}{
+		4: {0.074541193025778982, 0.10043343867511957, 0.76581415850758294, 1151618},
+		8: {0.13684618084923894, 0.18270791835702754, 0.80329358138667528, 1169779},
+	}
+	runs, err := Figure7(DefaultFigure7Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, run := range runs {
+		want, ok := pinned[run.NumFlows]
+		if !ok {
+			t.Errorf("unexpected flow count %d in figure-7 runs", run.NumFlows)
+			continue
+		}
+		//pelsvet:allow floateq
+		if run.MeasuredLoss != want.measured {
+			t.Errorf("n=%d MeasuredLoss = %.17g, want pinned %.17g", run.NumFlows, run.MeasuredLoss, want.measured)
+		}
+		//pelsvet:allow floateq
+		if run.GammaTail != want.gammaTail {
+			t.Errorf("n=%d GammaTail = %.17g, want pinned %.17g", run.NumFlows, run.GammaTail, want.gammaTail)
+		}
+		//pelsvet:allow floateq
+		if run.RedLossTail != want.redLossTail {
+			t.Errorf("n=%d RedLossTail = %.17g, want pinned %.17g", run.NumFlows, run.RedLossTail, want.redLossTail)
+		}
+		if run.Events != want.events {
+			t.Errorf("n=%d Events = %d, want pinned %d", run.NumFlows, run.Events, want.events)
+		}
+	}
+}

@@ -336,6 +336,28 @@ func Registry() []Entry {
 			},
 		},
 		{
+			Name:  "nlayer-testbed",
+			Title: "N-layer ladder — 8 strict-priority layers with gamma split points",
+			Run: func(seed int64) (Result, error) {
+				cfg := DefaultNLayerConfig()
+				cfg.Seed = seed
+				res, err := NLayer(cfg)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Output:  FormatNLayer(res),
+					Events:  res.Events,
+					Metrics: res.Metrics(),
+					Obs:     res.Obs,
+					Artifacts: []Artifact{{
+						Name:   "nlayer_occupancy.csv",
+						Series: res.Occupancy,
+					}},
+				}, nil
+			},
+		},
+		{
 			Name:  "rdscaling",
 			Title: "R-D-aware rate scaling — the §6.5 smoothing extension",
 			Run: func(seed int64) (Result, error) {

@@ -128,7 +128,11 @@ type Testbed struct {
 	// and experiments export the whole registry through Result.Obs.
 	Obs *obs.Registry
 
-	// Delay series per color, sampled at bottleneck transmission time.
+	// LayerDelay holds one delay series per PELS priority layer, sampled
+	// at bottleneck transmission time ("green_delay_ms", "yellow_delay_ms",
+	// "red_delay_ms", "layer3_delay_ms", ...). GreenDelay, YellowDelay and
+	// RedDelay alias the first three entries for the paper's 3-layer runs.
+	LayerDelay                        []*stats.TimeSeries
 	GreenDelay, YellowDelay, RedDelay *stats.TimeSeries
 	// FeedbackLoss records the router's p(k) series; FeedbackRate the
 	// measured aggregate arrival rate R(k) in kb/s. Both are recorded by
@@ -137,12 +141,13 @@ type Testbed struct {
 	// RateSeries and GammaSeries are indexed by PELS flow.
 	RateSeries  []*stats.TimeSeries
 	GammaSeries []*stats.TimeSeries
-	// RedLossSeries samples the red queue's interval loss rate (PELS runs)
-	// or the video queue's loss rate (best-effort runs).
+	// RedLossSeries samples the top (probe) layer queue's interval loss
+	// rate (PELS runs) or the video queue's loss rate (best-effort runs).
 	RedLossSeries *stats.TimeSeries
-	// DropSeries samples per-interval drop counts of the three PELS color
-	// queues ("green_drops", "yellow_drops", "red_drops"); nil for
-	// best-effort runs, which have a single video queue.
+	// DropSeries samples per-interval drop counts of the PELS layer
+	// queues, keyed by layer color ("green_drops", "yellow_drops",
+	// "red_drops", "layer3_drops", ...); nil for best-effort runs, which
+	// have a single video queue.
 	DropSeries map[packet.Color]*stats.TimeSeries
 	// VideoBytesTransmitted counts video (PELS + best-effort colored)
 	// bytes serialized onto the bottleneck — the denominator of useful
@@ -150,7 +155,7 @@ type Testbed struct {
 	VideoBytesTransmitted int64
 
 	queueProbe *sim.Ticker
-	prevColor  map[packet.Color]queue.Counters
+	prevLayer  []queue.Counters
 	prevVideo  queue.Counters
 }
 
@@ -171,20 +176,31 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	// pointers, so the recycling pool is safe here.
 	net.EnablePacketPool()
 
+	// The bottleneck's layer count drives every per-layer series and, for
+	// non-classic counts, the sessions' plan split.
+	numLayers := cfg.Bottleneck.Priority.NumLayers()
+
 	reg := obs.NewRegistry()
 	eng.Instrument(reg, "engine.")
 	tb := &Testbed{
-		Cfg:           cfg,
-		Eng:           eng,
-		Net:           net,
-		Obs:           reg,
-		GreenDelay:    reg.Series("green_delay_ms").TimeSeries(),
-		YellowDelay:   reg.Series("yellow_delay_ms").TimeSeries(),
-		RedDelay:      reg.Series("red_delay_ms").TimeSeries(),
-		FeedbackLoss:  reg.Series("feedback_loss").TimeSeries(),
-		FeedbackRate:  reg.Series("feedback_rate_kbps").TimeSeries(),
-		RedLossSeries: reg.Series("red_loss").TimeSeries(),
+		Cfg: cfg,
+		Eng: eng,
+		Net: net,
+		Obs: reg,
 	}
+	for i := 0; i < numLayers; i++ {
+		tb.LayerDelay = append(tb.LayerDelay, reg.Series(packet.LayerName(i)+"_delay_ms").TimeSeries())
+	}
+	tb.GreenDelay = tb.LayerDelay[0]
+	tb.YellowDelay = tb.LayerDelay[1]
+	if numLayers >= 3 {
+		tb.RedDelay = tb.LayerDelay[2]
+	} else {
+		tb.RedDelay = tb.LayerDelay[numLayers-1]
+	}
+	tb.FeedbackLoss = reg.Series("feedback_loss").TimeSeries()
+	tb.FeedbackRate = reg.Series("feedback_rate_kbps").TimeSeries()
+	tb.RedLossSeries = reg.Series("red_loss").TimeSeries()
 
 	tb.R1 = net.NewRouter("r1")
 	tb.R2 = net.NewRouter("r2")
@@ -217,17 +233,11 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	} else {
 		tb.PELSQueues = aqm.NewBottleneck(cfg.Bottleneck)
 		disc = tb.PELSQueues.Disc
-		tb.DropSeries = map[packet.Color]*stats.TimeSeries{
-			packet.Green:  reg.Series("green_drops").TimeSeries(),
-			packet.Yellow: reg.Series("yellow_drops").TimeSeries(),
-			packet.Red:    reg.Series("red_drops").TimeSeries(),
-		}
-		for color, name := range map[packet.Color]string{
-			packet.Green:  "green",
-			packet.Yellow: "yellow",
-			packet.Red:    "red",
-		} {
-			tb.PELSQueues.PELS.Queue(color).Observe(reg, "queue."+name+".")
+		tb.DropSeries = make(map[packet.Color]*stats.TimeSeries, numLayers)
+		for i := 0; i < numLayers; i++ {
+			name := packet.LayerName(i)
+			tb.DropSeries[packet.LayerColor(i)] = reg.Series(name + "_drops").TimeSeries()
+			tb.PELSQueues.PELS.Layer(i).Observe(reg, "queue."+name+".")
 		}
 		tb.PELSQueues.Internet.Observe(reg, "queue.internet.")
 	}
@@ -244,22 +254,17 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	tb.Forward.Instrument(reg, "bottleneck.")
 	tb.Forward.OnTransmit = func(p *packet.Packet) {
 		ms := float64(p.QueueingDelay()) / float64(time.Millisecond)
-		switch p.Color {
-		case packet.Green:
-			tb.GreenDelay.Add(eng.Now(), ms)
-		case packet.Yellow:
-			tb.YellowDelay.Add(eng.Now(), ms)
-		case packet.Red:
-			tb.RedDelay.Add(eng.Now(), ms)
+		if l, ok := p.Color.Layer(); ok && l < len(tb.LayerDelay) {
+			tb.LayerDelay[l].Add(eng.Now(), ms)
 		}
 		if p.Color.IsPELS() || p.Color == packet.BestEffort {
 			tb.VideoBytesTransmitted += int64(p.Size)
 		}
 	}
 
-	// Per-interval queue probe: red-queue loss rate (Fig. 7 right) and
-	// per-color drop counts.
-	tb.prevColor = make(map[packet.Color]queue.Counters)
+	// Per-interval queue probe: top-layer loss rate (Fig. 7 right) and
+	// per-layer drop counts.
+	tb.prevLayer = make([]queue.Counters, numLayers)
 	tb.queueProbe = sim.NewTicker(eng, cfg.FeedbackInterval*10, tb.probeQueues)
 	tb.queueProbe.Start()
 
@@ -268,6 +273,11 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 	for i := 0; i < cfg.NumPELS; i++ {
 		scfg := cfg.Session
 		scfg.Flow = 100 + i
+		if scfg.Layers == 0 && numLayers != 3 {
+			// Non-classic bottlenecks imply matching N-layer sessions
+			// unless the template pins a count explicitly.
+			scfg.Layers = numLayers
+		}
 		if cfg.BestEffort {
 			scfg.Mode = pels.ModeBestEffort
 		}
@@ -327,14 +337,15 @@ func NewTestbed(cfg TestbedConfig) (*Testbed, error) {
 func (tb *Testbed) probeQueues() {
 	now := tb.Eng.Now()
 	if tb.PELSQueues != nil {
-		for _, color := range []packet.Color{packet.Green, packet.Yellow, packet.Red} {
-			cur := tb.PELSQueues.PELS.ColorCounters(color)
-			prev := tb.prevColor[color]
-			tb.prevColor[color] = cur
+		top := tb.PELSQueues.PELS.NumLayers() - 1
+		for i := 0; i <= top; i++ {
+			cur := tb.PELSQueues.PELS.Layer(i).Counters
+			prev := tb.prevLayer[i]
+			tb.prevLayer[i] = cur
 			dArr := cur.Arrived - prev.Arrived
 			dDrop := cur.Dropped - prev.Dropped
-			tb.DropSeries[color].Add(now, float64(dDrop))
-			if color == packet.Red && dArr > 0 {
+			tb.DropSeries[packet.LayerColor(i)].Add(now, float64(dDrop))
+			if i == top && dArr > 0 {
 				tb.RedLossSeries.Add(now, float64(dDrop)/float64(dArr))
 			}
 		}

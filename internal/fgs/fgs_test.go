@@ -103,8 +103,9 @@ func TestGammaStabilityLemma(t *testing.T) {
 		t.Error(err)
 	}
 
-	// σ = 3 diverges (|1−σ| = 2 > 1).
-	g := MustNewGamma(GammaConfig{Sigma: 3, PThr: 0.75, Initial: 0.05, Clamp: false})
+	// σ = 3 diverges (|1−σ| = 2 > 1); Validate only admits it via the
+	// explicit open-loop opt-out.
+	g := MustNewGamma(GammaConfig{Sigma: 3, PThr: 0.75, Initial: 0.05, Clamp: false, AllowUnstable: true})
 	for i := 0; i < 30; i++ {
 		g.Update(0.5)
 	}
@@ -133,6 +134,34 @@ func TestGammaConfigValidation(t *testing.T) {
 	for _, cfg := range bad {
 		if _, err := NewGamma(cfg); err == nil {
 			t.Errorf("NewGamma(%+v) succeeded, want error", cfg)
+		}
+	}
+}
+
+// TestGammaConfigSigmaStabilityBound: Validate enforces 0 < σ < 2 (paper
+// Lemmas 2-3) unless the open-loop AllowUnstable opt-out is set.
+func TestGammaConfigSigmaStabilityBound(t *testing.T) {
+	cases := []struct {
+		cfg GammaConfig
+		ok  bool
+	}{
+		{GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0.5}, false},
+		{GammaConfig{Sigma: -0.5, PThr: 0.75, Initial: 0.5}, false},
+		{GammaConfig{Sigma: 2, PThr: 0.75, Initial: 0.5}, false},
+		{GammaConfig{Sigma: 3, PThr: 0.75, Initial: 0.5}, false},
+		{GammaConfig{Sigma: 0.001, PThr: 0.75, Initial: 0.5}, true},
+		{GammaConfig{Sigma: 0.5, PThr: 0.75, Initial: 0.5}, true},
+		{GammaConfig{Sigma: 1.999, PThr: 0.75, Initial: 0.5}, true},
+		{GammaConfig{Sigma: 0, PThr: 0.75, Initial: 0.5, AllowUnstable: true}, true},
+		{GammaConfig{Sigma: 3, PThr: 0.75, Initial: 0.5, AllowUnstable: true}, true},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if tc.ok && err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", tc.cfg, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Validate(%+v) succeeded, want stability error", tc.cfg)
 		}
 	}
 }

@@ -23,6 +23,11 @@ type GammaConfig struct {
 	// Clamp enables the [Min,Max] bounds. Disable only for open-loop
 	// stability analysis (Fig. 5), where divergence must be observable.
 	Clamp bool
+	// AllowUnstable opts out of the 0 < σ < 2 stability check. σ=0
+	// freezes the controller and σ≥2 diverges (Lemmas 2-3), so Validate
+	// rejects both unless this is set — reserve it for the open-loop
+	// Fig. 5 analysis path and frozen-γ ablations.
+	AllowUnstable bool
 }
 
 // DefaultGammaConfig returns the paper's controller parameters
@@ -38,8 +43,13 @@ func DefaultGammaConfig() GammaConfig {
 	}
 }
 
-// Validate reports configuration errors.
+// Validate reports configuration errors. The controller gain must satisfy
+// the stability bound 0 < σ < 2 of paper Lemmas 2-3 unless AllowUnstable
+// is set.
 func (c GammaConfig) Validate() error {
+	if !c.AllowUnstable && (c.Sigma <= 0 || c.Sigma >= 2) {
+		return fmt.Errorf("fgs: sigma must be in (0,2) for stability, got %v (set AllowUnstable for open-loop analysis)", c.Sigma)
+	}
 	if c.PThr <= 0 || c.PThr > 1 {
 		return fmt.Errorf("fgs: p_thr must be in (0,1], got %v", c.PThr)
 	}

@@ -26,8 +26,14 @@ func (p PacketPlan) EnhPackets() int { return p.Yellow + p.Red }
 func (p PacketPlan) Bytes(packetSize int) int { return p.Total() * packetSize }
 
 // Color returns the PELS color of the packet at the given index within the
-// frame (base layer first, then yellow, then red).
+// frame (base layer first, then yellow, then red). It panics when index is
+// outside [0, Total()): an out-of-range index means the caller is iterating
+// a stale or mismatched plan, and silently answering Red (or Green for
+// negatives) mislabels the packet — a bug this method used to have.
 func (p PacketPlan) Color(index int) packet.Color {
+	if index < 0 || index >= p.Total() {
+		panic("fgs: packet index out of plan range")
+	}
 	switch {
 	case index < p.Green:
 		return packet.Green

@@ -1,19 +1,25 @@
 // Package packet defines the packet model shared by all simulator layers:
-// priority colors for the PELS framework, the in-band congestion feedback
-// header (paper §5.2), and video frame tagging used by the FGS decoder.
+// priority colors for the PELS framework (generalized from the paper's
+// three colors to N ordered priority layers), the in-band congestion
+// feedback header (paper §5.2), and video frame tagging used by the FGS
+// decoder.
 package packet
 
 import (
 	"fmt"
+	"strconv"
 	"time"
 )
 
-// Color is a PELS priority class. Green carries the base layer, yellow the
-// lower (protected) part of the FGS enhancement layer, and red the upper
-// part that acts as congestion probes. Best-effort marks non-PELS
-// multimedia traffic (the baseline in §3.1) and TCP marks Internet-queue
-// cross traffic. ACKs travel the reverse path and are never queued in PELS
-// priority queues.
+// Color is a PELS priority class. The paper's three colors are priority
+// layers 0-2: green carries the base layer, yellow the lower (protected)
+// part of the FGS enhancement layer, and red the upper part that acts as
+// congestion probes. Layers 3..MaxLayers-1 extend the model to the deeper
+// quality ladders of real scalable codecs (8-layer SHVC bitstreams);
+// LayerColor and Color.Layer convert between the two views. Best-effort
+// marks non-PELS multimedia traffic (the baseline in §3.1) and TCP marks
+// Internet-queue cross traffic. ACKs travel the reverse path and are never
+// queued in PELS priority queues.
 type Color int
 
 // Priority classes, in decreasing order of importance.
@@ -25,6 +31,59 @@ const (
 	TCP
 	ACK
 )
+
+// MaxLayers bounds the number of PELS priority layers the simulator
+// supports. The three paper colors are layers 0-2; the bound leaves room
+// for the 8-layer ladders of real scalable bitstreams with headroom.
+const MaxLayers = 16
+
+// extLayerBase is the Color of priority layer 3. Layers 0-2 keep the
+// paper's Green/Yellow/Red values and BestEffort/TCP/ACK retain theirs,
+// so extended layers continue after ACK. Extended layer colors are
+// simulator-only: the wire codec maps every layer onto the three on-wire
+// bands (see internal/wire).
+const extLayerBase = ACK + 1
+
+// LayerColor returns the Color of the PELS priority layer with the given
+// index (0 = base layer = Green). It panics when layer is outside
+// [0, MaxLayers).
+func LayerColor(layer int) Color {
+	if layer < 0 || layer >= MaxLayers {
+		panic("packet: layer index out of range")
+	}
+	if layer < 3 {
+		return Green + Color(layer)
+	}
+	return extLayerBase + Color(layer-3)
+}
+
+// Layer returns the priority-layer index of a PELS color (0 = base) and
+// whether the color is a PELS layer at all. Non-PELS colors (best-effort,
+// TCP, ACK) report false.
+func (c Color) Layer() (int, bool) {
+	switch {
+	case c >= Green && c <= Red:
+		return int(c - Green), true
+	case c >= extLayerBase && c < extLayerBase+Color(MaxLayers-3):
+		return int(c-extLayerBase) + 3, true
+	}
+	return 0, false
+}
+
+// LayerName returns the obs/CSV name of a priority layer: the paper's
+// color names for layers 0-2, "layer<i>" beyond.
+func LayerName(layer int) string {
+	switch layer {
+	case 0:
+		return "green"
+	case 1:
+		return "yellow"
+	case 2:
+		return "red"
+	default:
+		return "layer" + strconv.Itoa(layer)
+	}
+}
 
 var colorNames = map[Color]string{
 	Green:      "green",
@@ -40,12 +99,23 @@ func (c Color) String() string {
 	if s, ok := colorNames[c]; ok {
 		return s
 	}
+	if l, ok := c.Layer(); ok {
+		return LayerName(l)
+	}
 	return fmt.Sprintf("color(%d)", int(c))
 }
 
-// IsPELS reports whether the color belongs to one of the three PELS
-// priority queues.
-func (c Color) IsPELS() bool { return c == Green || c == Yellow || c == Red }
+// IsPELS reports whether the color belongs to one of the PELS priority
+// layers (the three paper colors or an extended layer).
+func (c Color) IsPELS() bool {
+	return (c >= Green && c <= Red) || (c >= extLayerBase && c < extLayerBase+Color(MaxLayers-3))
+}
+
+// IsWireBand reports whether the color is one of the three on-wire PELS
+// bands. The 60-byte wire codec carries exactly the paper's three colors;
+// extended layers exist only inside the simulator and are mapped onto
+// bands at the wire boundary (wire.SenderConfig.LayerBands).
+func (c Color) IsWireBand() bool { return c == Green || c == Yellow || c == Red }
 
 // Feedback is the congestion feedback label (router ID, epoch z, packet
 // loss p) inserted by PELS routers into the header of every passing packet

@@ -19,6 +19,7 @@ import (
 	"repro/internal/fgs"
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/packet"
 	"repro/internal/units"
 )
 
@@ -84,6 +85,14 @@ type Config struct {
 	// RedShare selects the denominator γ applies to when sizing the red
 	// segment (default fgs.RedShareTotal; see that type's documentation).
 	RedShare fgs.RedShare
+	// Layers selects the number of priority layers the source splits each
+	// frame into. 0 and 3 select the classic green/yellow/red path (the
+	// paper's model, bit-exact); 2 or 4..packet.MaxLayers split the frame
+	// with the default γ ladder (fgs.Ladder): N−1 cumulative split points
+	// interpolated from 1 down to the controller's γ, so the single-γ
+	// controller keeps steering the whole ladder. The bottleneck must be
+	// configured with a matching layer count (queue.NLayerPriorityConfig).
+	Layers int
 	// Scaler decides each frame's byte budget from the controller rate;
 	// nil means fgs.ConstantScaler (the paper's x_i = r·interval).
 	// fgs.RDScaler implements the complexity-aware allocation the paper
@@ -157,15 +166,25 @@ func (c Config) Validate() error {
 	if c.Mode != ModePELS && c.Mode != ModeBestEffort {
 		return fmt.Errorf("pels: unknown mode %d", int(c.Mode))
 	}
+	if c.Layers != 0 && (c.Layers < 2 || c.Layers > packet.MaxLayers) {
+		return fmt.Errorf("pels: layers must be 0 (classic) or in [2,%d], got %d", packet.MaxLayers, c.Layers)
+	}
 	return nil
 }
 
-// SentFrame records what the source transmitted for one frame.
+// Layered reports whether the configuration uses the generalized N-layer
+// plan path rather than the classic 3-color PlanShare path.
+func (c Config) Layered() bool { return c.Layers != 0 && c.Layers != 3 }
+
+// SentFrame records what the source transmitted for one frame. Classic
+// 3-color sessions fill Plan; layered sessions (Config.Layered) fill
+// LayerPlan instead.
 type SentFrame struct {
-	Frame  int
-	Plan   fgs.PacketPlan
-	Rate   units.BitRate // sending rate when the frame was planned
-	SentAt time.Duration
+	Frame     int
+	Plan      fgs.PacketPlan
+	LayerPlan fgs.LayerPlan
+	Rate      units.BitRate // sending rate when the frame was planned
+	SentAt    time.Duration
 }
 
 // Session wires a Source on srcHost to a Sink on dstHost and returns both.

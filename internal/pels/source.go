@@ -36,6 +36,12 @@ type Source struct {
 	started bool
 	stopped bool
 
+	// Layered (N≠3) sessions plan with the γ ladder instead of PlanShare;
+	// layerPlan replaces plan and gammas is the per-frame ladder scratch.
+	layered   bool
+	layerPlan fgs.LayerPlan
+	gammas    []float64
+
 	pktsSent  int64
 	bytesSent int64
 
@@ -82,6 +88,11 @@ func NewSource(net *netsim.Network, host *netsim.Host, dst int, cfg Config) (*So
 		gamma:      gamma,
 		packetizer: pk,
 	}
+	if cfg.Layered() {
+		s.layered = true
+		s.layerPlan = fgs.LayerPlan{Counts: make([]int, cfg.Layers)}
+		s.gammas = make([]float64, cfg.Layers-1)
+	}
 	host.Attach(cfg.Flow, s)
 	return s, nil
 }
@@ -122,15 +133,45 @@ func (s *Source) planFrame() {
 	if s.cfg.Mode == ModePELS {
 		gamma = s.gamma.Value()
 	}
-	s.plan = s.packetizer.PlanShare(s.frame, budget, gamma, s.cfg.RedShare)
+	rec := SentFrame{Frame: s.frame, Rate: rate, SentAt: s.eng.Now()}
+	if s.layered {
+		fgs.Ladder(s.gammas, gamma)
+		s.layerPlan.Frame = s.frame
+		s.packetizer.PlanLayersInto(s.layerPlan.Counts, s.frame, budget, s.gammas, s.cfg.RedShare)
+		counts := make([]int, len(s.layerPlan.Counts))
+		copy(counts, s.layerPlan.Counts)
+		rec.LayerPlan = fgs.LayerPlan{Frame: s.frame, Counts: counts}
+	} else {
+		s.plan = s.packetizer.PlanShare(s.frame, budget, gamma, s.cfg.RedShare)
+		rec.Plan = s.plan
+	}
 	s.nextIdx = 0
-	s.sent = append(s.sent, SentFrame{
-		Frame:  s.frame,
-		Plan:   s.plan,
-		Rate:   rate,
-		SentAt: s.eng.Now(),
-	})
+	s.sent = append(s.sent, rec)
 	s.frame++
+}
+
+// planTotal returns the packet count of the current frame plan.
+func (s *Source) planTotal() int {
+	if s.layered {
+		return s.layerPlan.Total()
+	}
+	return s.plan.Total()
+}
+
+// planColor returns the color of packet index in the current frame plan.
+func (s *Source) planColor(index int) packet.Color {
+	if s.layered {
+		return s.layerPlan.Color(index)
+	}
+	return s.plan.Color(index)
+}
+
+// planFrameNo returns the frame number of the current plan.
+func (s *Source) planFrameNo() int {
+	if s.layered {
+		return s.layerPlan.Frame
+	}
+	return s.plan.Frame
 }
 
 // emitNext sends the next packet of the stream and schedules the following
@@ -142,9 +183,9 @@ func (s *Source) emitNext() {
 	if s.stopped {
 		return
 	}
-	if s.nextIdx >= s.plan.Total() {
+	if s.nextIdx >= s.planTotal() {
 		s.planFrame()
-		if s.plan.Total() == 0 {
+		if s.planTotal() == 0 {
 			// Degenerate spec (no packets to send); try again next frame
 			// interval rather than spinning.
 			s.emitEv = s.eng.Schedule(s.cfg.FrameInterval, s.emitNext)
@@ -153,12 +194,12 @@ func (s *Source) emitNext() {
 	}
 	index := s.nextIdx
 	s.nextIdx++
-	color := s.plan.Color(index)
+	color := s.planColor(index)
 	if s.cfg.Mode == ModeBestEffort && color != packet.Green {
 		color = packet.BestEffort
 	}
 	p := s.net.NewPacket(s.cfg.Flow, s.dst, s.cfg.Frame.PacketSize, color)
-	p.Frame = s.plan.Frame
+	p.Frame = s.planFrameNo()
 	p.Index = index
 	s.pktsSent++
 	s.bytesSent += int64(p.Size)

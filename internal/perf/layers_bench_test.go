@@ -1,0 +1,65 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/fgs"
+	"repro/internal/packet"
+	"repro/internal/queue"
+)
+
+// The benchmarks below gate the N-layer generalization: the 3-color plan
+// split, the N-way ladder split, and the strict-priority classifier must
+// all stay allocation-free — the 3-layer numbers are the pre-refactor
+// baseline the generalized code paths have to match.
+
+func BenchmarkPlanShare(b *testing.B) {
+	pk := fgs.MustNewPacketizer(fgs.DefaultFrameSpec())
+	budget := pk.Spec().FrameBytes() * 3 / 4
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plan := pk.PlanShare(i, budget, 0.3, fgs.RedShareTotal)
+		if plan.Total() == 0 {
+			b.Fatal("empty plan")
+		}
+	}
+}
+
+func BenchmarkPlanLayers8(b *testing.B) {
+	pk := fgs.MustNewPacketizer(fgs.DefaultFrameSpec())
+	budget := pk.Spec().FrameBytes() * 3 / 4
+	gammas := make([]float64, 7)
+	counts := make([]int, 8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fgs.Ladder(gammas, 0.3)
+		pk.PlanLayersInto(counts, i, budget, gammas, fgs.RedShareTotal)
+		if counts[0] == 0 {
+			b.Fatal("empty base layer")
+		}
+	}
+}
+
+// BenchmarkPriorityClassify measures the color→layer-queue classification
+// plus enqueue/dequeue round trip on an 8-layer priority set, cycling
+// through every layer color. Expect 0 allocs/op.
+func BenchmarkPriorityClassify(b *testing.B) {
+	pq := queue.NewPriority(queue.NLayerPriorityConfig(8))
+	pkts := make([]*packet.Packet, 8)
+	for i := range pkts {
+		pkts[i] = &packet.Packet{Color: packet.LayerColor(i), Size: 500}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pkts[i%len(pkts)]
+		if !pq.Enqueue(p) {
+			b.Fatal("drop on empty queue")
+		}
+		if pq.Dequeue() == nil {
+			b.Fatal("empty dequeue")
+		}
+	}
+}

@@ -31,6 +31,15 @@ type Config struct {
 	Gamma fgs.GammaConfig
 	// RedShare selects the γ denominator; 0 means fgs.RedShareTotal.
 	RedShare fgs.RedShare
+	// Layers selects the number of priority layers per frame (see
+	// wire.SenderConfig.Layers): 0 and 3 keep the classic
+	// green/yellow/red plan, other counts plan with the default γ ladder
+	// and map layers onto the three wire bands via LayerBands.
+	Layers int
+	// LayerBands maps each priority layer to its on-wire band; nil
+	// selects wire.DefaultLayerBands(Layers). Ignored for classic
+	// sessions.
+	LayerBands []packet.Color
 	// NewScaler builds the per-session frame scaler (scalers are
 	// stateful, so sessions cannot share one); nil means ConstantScaler.
 	NewScaler func() fgs.Scaler
@@ -69,8 +78,15 @@ func (c Config) WithDefaults() Config {
 	if c.StaleDecay == 0 {
 		c.StaleDecay = 0.5
 	}
+	if c.Layered() && c.LayerBands == nil {
+		c.LayerBands = wire.DefaultLayerBands(c.Layers)
+	}
 	return c
 }
+
+// Layered reports whether the configuration uses the generalized N-layer
+// plan path rather than the classic 3-color one.
+func (c Config) Layered() bool { return c.Layers != 0 && c.Layers != 3 }
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
@@ -87,6 +103,19 @@ func (c Config) Validate() error {
 	}
 	if c.StaleDecay < 0 || c.StaleDecay >= 1 {
 		return fmt.Errorf("session: stale decay %v must be in (0,1)", c.StaleDecay)
+	}
+	if c.Layers != 0 && (c.Layers < 2 || c.Layers > packet.MaxLayers) {
+		return fmt.Errorf("session: layers must be 0 (classic) or in [2,%d], got %d", packet.MaxLayers, c.Layers)
+	}
+	if c.Layered() && c.LayerBands != nil {
+		if len(c.LayerBands) != c.Layers {
+			return fmt.Errorf("session: layer band table has %d entries for %d layers", len(c.LayerBands), c.Layers)
+		}
+		for i, b := range c.LayerBands {
+			if !b.IsWireBand() {
+				return fmt.Errorf("session: layer %d mapped to non-band color %v", i, b)
+			}
+		}
 	}
 	return nil
 }
@@ -174,6 +203,12 @@ type Session struct {
 	planIdx  int            //pelsvet:guards mu
 	reserved bool           //pelsvet:guards mu — buf holds an encoded, pacer-charged datagram
 
+	// Layered (N≠3) sessions plan with the γ ladder and map each layer
+	// onto a wire band (cfg.LayerBands).
+	layered   bool
+	layerPlan fgs.LayerPlan //pelsvet:guards mu
+	gammas    []float64     //pelsvet:guards mu
+
 	// Shared aggregate counters (one pair per server, not per session);
 	// nil when the server runs without a registry.
 	aggDatagrams *obs.Counter
@@ -221,6 +256,11 @@ func NewSession(key Key, peer net.Addr, out wire.PacketWriter, cfg Config, now t
 		lastFeedbackAt: now,
 		lastActivity:   now,
 	}
+	if cfg.Layered() {
+		s.layered = true
+		s.layerPlan = fgs.LayerPlan{Counts: make([]int, cfg.Layers)}
+		s.gammas = make([]float64, cfg.Layers-1)
+	}
 	s.stats.Key = key
 	return s, nil
 }
@@ -257,7 +297,7 @@ func (s *Session) pump(now time.Time) (next time.Time, done bool) {
 			s.sendLocked()
 			continue
 		}
-		if s.planIdx >= s.plan.Total() {
+		if s.planIdx >= s.planTotalLocked() {
 			// Frame boundary.
 			if s.cfg.MaxFrames > 0 && s.frame >= s.cfg.MaxFrames {
 				s.state = StateClosed
@@ -268,17 +308,23 @@ func (s *Session) pump(now time.Time) (next time.Time, done bool) {
 				return time.Time{}, true
 			}
 			budget := s.scaler.Budget(s.frame, s.effectiveRateLocked(), s.cfg.FrameInterval)
-			s.plan = s.pk.PlanShare(s.frame, budget, s.gamma.Value(), s.cfg.RedShare)
+			if s.layered {
+				fgs.Ladder(s.gammas, s.gamma.Value())
+				s.layerPlan.Frame = s.frame
+				s.pk.PlanLayersInto(s.layerPlan.Counts, s.frame, budget, s.gammas, s.cfg.RedShare)
+			} else {
+				s.plan = s.pk.PlanShare(s.frame, budget, s.gamma.Value(), s.cfg.RedShare)
+			}
 			s.planIdx = 0
 			s.frame++
 			s.stats.Frames = s.frame
-			if s.plan.Total() == 0 {
+			if s.planTotalLocked() == 0 {
 				// Degenerate budget: idle one frame interval instead of
 				// spinning (mirrors wire.Sender).
 				return now.Add(s.cfg.FrameInterval), false
 			}
 		}
-		color := s.plan.Color(s.planIdx)
+		color := s.planColorLocked(s.planIdx)
 		h := wire.Header{
 			Type:      wire.TypeData,
 			Color:     color,
@@ -302,6 +348,23 @@ func (s *Session) pump(now time.Time) (next time.Time, done bool) {
 		}
 		s.sendLocked()
 	}
+}
+
+// planTotalLocked returns the packet count of the current frame plan.
+func (s *Session) planTotalLocked() int {
+	if s.layered {
+		return s.layerPlan.Total()
+	}
+	return s.plan.Total()
+}
+
+// planColorLocked returns the wire band of plan packet idx: the plan color
+// directly for classic sessions, the layer's band for layered ones.
+func (s *Session) planColorLocked(idx int) packet.Color {
+	if s.layered {
+		return s.cfg.LayerBands[s.layerPlan.Layer(idx)]
+	}
+	return s.plan.Color(idx)
 }
 
 // sendLocked writes the encoded datagram in buf and advances the plan.

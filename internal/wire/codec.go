@@ -139,7 +139,11 @@ type Header struct {
 func (h Header) validate() error {
 	switch h.Type {
 	case TypeData:
-		if !h.Color.IsPELS() && h.Color != packet.BestEffort {
+		// The wire carries exactly the three paper bands (plus
+		// best-effort): extended simulator layers must be mapped onto
+		// bands before encoding (SenderConfig.LayerBands), so a wider
+		// IsPELS check would be wrong here.
+		if !h.Color.IsWireBand() && h.Color != packet.BestEffort {
 			return fmt.Errorf("%w: data datagram colored %v", ErrColor, h.Color)
 		}
 	case TypeFeedback, TypeHello:
@@ -280,7 +284,7 @@ func PeekColor(b []byte) (packet.Color, bool) {
 		return 0, false
 	}
 	c := packet.Color(b[offColor])
-	if !c.IsPELS() && c != packet.BestEffort {
+	if !c.IsWireBand() && c != packet.BestEffort {
 		return 0, false
 	}
 	return c, true

@@ -37,6 +37,17 @@ type SenderConfig struct {
 	Gamma fgs.GammaConfig
 	// RedShare selects the γ denominator; 0 means fgs.RedShareTotal.
 	RedShare fgs.RedShare
+	// Layers selects the number of priority layers each frame is split
+	// into. 0 and 3 keep the classic green/yellow/red plan; 2 or
+	// 4..packet.MaxLayers plan with the default γ ladder (fgs.Ladder).
+	// The wire format itself always carries the three paper bands: each
+	// layer is mapped onto a band via LayerBands before encoding.
+	Layers int
+	// LayerBands maps each priority layer to its on-wire band; it must
+	// have Layers entries, each Green, Yellow, or Red. Nil selects
+	// DefaultLayerBands(Layers): base layer → Green, top layer → Red,
+	// everything between → Yellow. Ignored for classic 3-layer sessions.
+	LayerBands []packet.Color
 	// Scaler maps rate to per-frame byte budgets; nil means
 	// fgs.ConstantScaler.
 	Scaler fgs.Scaler
@@ -92,7 +103,33 @@ func (c SenderConfig) WithDefaults() SenderConfig {
 	if c.StaleDecay == 0 {
 		c.StaleDecay = 0.5
 	}
+	if c.Layered() && c.LayerBands == nil {
+		c.LayerBands = DefaultLayerBands(c.Layers)
+	}
 	return c
+}
+
+// Layered reports whether the configuration uses the generalized N-layer
+// plan path rather than the classic 3-color one.
+func (c SenderConfig) Layered() bool { return c.Layers != 0 && c.Layers != 3 }
+
+// DefaultLayerBands returns the default layer→wire-band table for n
+// layers: the base layer travels Green, the top (probe) layer Red, and
+// every intermediate layer Yellow — preserving the paper's protection
+// ordering on a 3-band wire.
+func DefaultLayerBands(n int) []packet.Color {
+	bands := make([]packet.Color, n)
+	for i := range bands {
+		switch {
+		case i == 0:
+			bands[i] = packet.Green
+		case i == n-1:
+			bands[i] = packet.Red
+		default:
+			bands[i] = packet.Yellow
+		}
+	}
+	return bands
 }
 
 // Validate reports configuration errors.
@@ -110,6 +147,19 @@ func (c SenderConfig) Validate() error {
 	}
 	if c.StaleDecay < 0 || c.StaleDecay >= 1 {
 		return fmt.Errorf("wire: stale decay %v must be in (0,1)", c.StaleDecay)
+	}
+	if c.Layers != 0 && (c.Layers < 2 || c.Layers > packet.MaxLayers) {
+		return fmt.Errorf("wire: layers must be 0 (classic) or in [2,%d], got %d", packet.MaxLayers, c.Layers)
+	}
+	if c.Layered() && c.LayerBands != nil {
+		if len(c.LayerBands) != c.Layers {
+			return fmt.Errorf("wire: layer band table has %d entries for %d layers", len(c.LayerBands), c.Layers)
+		}
+		for i, b := range c.LayerBands {
+			if !b.IsWireBand() {
+				return fmt.Errorf("wire: layer %d mapped to non-band color %v", i, b)
+			}
+		}
 	}
 	return nil
 }
@@ -154,6 +204,14 @@ type Sender struct {
 	pk    *fgs.Packetizer
 	seq   map[packet.Color]uint64
 	stats SenderStats
+
+	// Layered (N≠3) sessions plan with the γ ladder and map each layer to
+	// a wire band. layerPlan.Counts and gammas are per-frame scratch owned
+	// by the Run goroutine (planFrameLayered fills them; only Run reads
+	// them), so they need no lock despite being written inside one.
+	layered   bool
+	layerPlan fgs.LayerPlan
+	gammas    []float64
 
 	// Stale-feedback watchdog and feedback-discontinuity state.
 	degrade        float64   //pelsvet:guards mu — effective-rate multiplier, 1 when fresh
@@ -210,6 +268,11 @@ func NewSender(conn net.PacketConn, peer net.Addr, cfg SenderConfig) (*Sender, e
 		start:   cfg.Now(),
 	}
 	s.lastFeedbackAt = s.start
+	if cfg.Layered() {
+		s.layered = true
+		s.layerPlan = fgs.LayerPlan{Counts: make([]int, cfg.Layers)}
+		s.gammas = make([]float64, cfg.Layers-1)
+	}
 	if cfg.Obs != nil {
 		s.obsDatagrams = cfg.Obs.Counter("sender.datagrams")
 		s.obsBytes = cfg.Obs.Counter("sender.bytes")
@@ -235,8 +298,15 @@ func (s *Sender) Run(ctx context.Context) error {
 
 	for frame := 0; s.cfg.MaxFrames == 0 || frame < s.cfg.MaxFrames; frame++ {
 		s.checkStale()
-		plan := s.planFrame(frame)
-		if plan.Total() == 0 {
+		var plan fgs.PacketPlan
+		var total int
+		if s.layered {
+			total = s.planFrameLayered(frame)
+		} else {
+			plan = s.planFrame(frame)
+			total = plan.Total()
+		}
+		if total == 0 {
 			// Degenerate budget: idle one frame interval instead of
 			// spinning.
 			if err := sleepCtx(ctx, timer, s.cfg.FrameInterval); err != nil {
@@ -244,8 +314,13 @@ func (s *Sender) Run(ctx context.Context) error {
 			}
 			continue
 		}
-		for idx := 0; idx < plan.Total(); idx++ {
-			color := plan.Color(idx)
+		for idx := 0; idx < total; idx++ {
+			var color packet.Color
+			if s.layered {
+				color = s.cfg.LayerBands[s.layerPlan.Layer(idx)]
+			} else {
+				color = plan.Color(idx)
+			}
 			h := Header{
 				Type:      TypeData,
 				Color:     color,
@@ -295,6 +370,19 @@ func (s *Sender) planFrame(frame int) fgs.PacketPlan {
 	defer s.mu.Unlock()
 	budget := s.cfg.Scaler.Budget(frame, s.effectiveRateLocked(), s.cfg.FrameInterval)
 	return s.pk.PlanShare(frame, budget, s.gamma.Value(), s.cfg.RedShare)
+}
+
+// planFrameLayered is planFrame for N-layer sessions: the single γ drives
+// the default ladder of split points, the plan lands in the sender's
+// scratch (read by Run only), and the packet total is returned.
+func (s *Sender) planFrameLayered(frame int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	budget := s.cfg.Scaler.Budget(frame, s.effectiveRateLocked(), s.cfg.FrameInterval)
+	fgs.Ladder(s.gammas, s.gamma.Value())
+	s.layerPlan.Frame = frame
+	s.pk.PlanLayersInto(s.layerPlan.Counts, frame, budget, s.gammas, s.cfg.RedShare)
+	return s.layerPlan.Total()
 }
 
 // effectiveRateLocked is the controller rate scaled by the watchdog
