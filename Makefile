@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet lint lint-strict test test-short race fmt-check ci bench bench-json perfdiff repro cover fuzz chaos smoke load obs-demo clean
+.PHONY: all build vet lint lint-strict test test-short race fmt-check ci bench bench-json perfdiff repro cover fuzz chaos smoke load overload obs-demo clean
 
 all: build vet lint test
 
@@ -57,7 +57,7 @@ bench:
 # repeated -count times; perfdiff -emit -best keeps the min-ns/max-allocs
 # figure of the repeats, the noise-robust statistic for gating. The
 # repo-level figure benchmarks run once and are recorded, not gated.
-BENCH_V      := 9
+BENCH_V      := 10
 BENCH_MICRO  := ^Benchmark(Wire|Gateway|Pacer|Sim|Netsim|Session|Plan|Priority)
 BENCH_MACRO  := ^BenchmarkMacro
 # Gated names must all exist in every fresh report the CI bench job makes
@@ -129,6 +129,35 @@ load:
 		-duration 12s -ramp 2s \
 		-scrape http://127.0.0.1:9101 -shards-out /tmp/pels-shards.json \
 		-max-green-loss 0 -min-streams 500 -assert-isolation
+
+# Overload drills (the CI overload-smoke job). Drill A: a flash crowd of
+# 2x MaxSessions against a server whose overload controller is armed well
+# below demand — the server must visibly push back (Rejects), shed
+# enhancement layers instead of dropping green, and still stream every
+# receiver to completion as the crowd drains through retry-after backoff.
+# Drill B: half the swarm goes dark mid-run and reconnects in one wave;
+# the idle reaper (idle-timeout < storm-resume) must free the dark
+# sessions so the wave resumes with fresh sequence spaces — zero green
+# loss end to end in both drills.
+overload:
+	go build -o /tmp/pelsd ./cmd/pelsd
+	go build -o /tmp/pelsload ./cmd/pelsload
+	( /tmp/pelsd -addr 127.0.0.1:9200 -capacity 4mbps -queue 24000 -epoch 10ms \
+		-packet 200 -frame-packets 40 -green 2 -frame-interval 20ms \
+		-alpha 50kbps -initial-rate 300kbps -frames 120 -serve \
+		-max-sessions 6 -overload-capacity 2mbps -reject-retry-after 300ms \
+		-idle-timeout 5s -duration 14s & ); \
+	sleep 1; /tmp/pelsload -addr 127.0.0.1:9200 -sessions 12 -sockets 4 \
+		-duration 12s -ramp 500ms -hello-retry 150ms -reconnect \
+		-min-streams 12 -min-rejects 1 -max-green-loss 0 -assert-isolation
+	( /tmp/pelsd -addr 127.0.0.1:9201 -capacity 4mbps -queue 24000 -epoch 10ms \
+		-packet 200 -frame-packets 40 -green 2 -frame-interval 20ms \
+		-alpha 50kbps -initial-rate 300kbps -frames 0 -serve \
+		-max-sessions 16 -idle-timeout 1s -stuck-timeout 3s -duration 13s & ); \
+	sleep 1; /tmp/pelsload -addr 127.0.0.1:9201 -sessions 8 -sockets 4 \
+		-duration 11s -ramp 500ms -hello-retry 150ms -reconnect \
+		-storm-at 3s -storm-frac 0.5 -storm-resume 2s \
+		-min-streams 8 -min-resumes 4 -max-green-loss 0 -assert-isolation
 
 # Observability demo: run one experiment, export every recorded series
 # (rate, loss, gamma, per-color drops) through internal/obs, and plot

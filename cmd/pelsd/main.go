@@ -23,6 +23,18 @@
 //	      [-max-sessions 8192] [-idle-timeout 10s] [-drain 5s]
 //	      [-workers 4] [-debug 127.0.0.1:9100]
 //	      [-chaos] [-chaos-seed 1] [-stale-timeout 0]
+//	      [-stuck-timeout 0] [-reject-retry-after 500ms]
+//	      [-overload-capacity ""] [-serve]
+//
+// Refused hellos are answered with a Reject datagram carrying the reason
+// and a -reject-retry-after hint; finished, reaped, and drained sessions
+// get a Close with their reason, so well-behaved receivers back off or
+// reconnect instead of guessing. With -overload-capacity, the server
+// sheds enhancement layers server-wide (base layer always flows) when
+// table occupancy, pump backlog, pacing lateness, or aggregate demand
+// against that ceiling crosses the high watermark, and restores them as
+// load recedes. With -stuck-timeout, sessions making no progress in
+// either direction are closed and counted separately from idle reaps.
 //
 // With -frames N, each session streams N frames and closes; pelsd exits
 // once at least one session was admitted and all of them have finished.
@@ -91,8 +103,16 @@ func run() error {
 	drainGrace := flag.Duration("drain", 5*time.Second, "graceful drain budget on signal or -duration expiry")
 	workers := flag.Int("workers", 4, "session pump goroutine pool size")
 	debugAddr := flag.String("debug", "", "HTTP address serving /debug/vars, /debug/shards, /debug/series and /debug/pprof/ (empty = off)")
-	chaos := flag.Bool("chaos", false, "inject the canned fault plan into the bottleneck (burst loss, corruption, link flaps)")
+	chaos := flag.Bool("chaos", false, "inject the canned fault plan into the bottleneck (burst loss, corruption, link flaps) and a hello storm into the inbound path")
 	chaosSeed := flag.Int64("chaos-seed", 1, "seed for the -chaos fault plan")
+	stuckTimeout := flag.Duration("stuck-timeout", 0,
+		"close sessions with neither feedback nor pump progress for this long (0 = off)")
+	rejectRetryAfter := flag.Duration("reject-retry-after", 500*time.Millisecond,
+		"retry hint carried in Reject datagrams (negative = no hint)")
+	overloadCap := flag.String("overload-capacity", "",
+		"arm graceful layer shedding against this aggregate-rate ceiling (empty = off)")
+	serve := flag.Bool("serve", false,
+		"keep serving after the table empties even with -frames set (for crowd drills with gaps between waves)")
 	staleTimeout := flag.Duration("stale-timeout", 0,
 		"decay a session's rate when its feedback goes quiet for this long (0 = off)")
 	flag.Parse()
@@ -127,11 +147,18 @@ func run() error {
 		QueueBytes: *queue,
 		Marker:     gw,
 	}
+	inConn := conn
 	if *chaos {
 		inj := fault.NewInjector(fault.DefaultChaosPlan(*chaosSeed))
 		inj.Instrument(reg, "fault.")
 		linkCfg.Faults = inj
-		fmt.Fprintf(os.Stderr, "pelsd: chaos fault plan armed (seed %d)\n", *chaosSeed)
+		// The outbound plan degrades the data path; the inbound storm
+		// duplicates and drops hellos before the demux sees them, so
+		// admission (first-hello-wins, Reject retries) is under fault too.
+		ctl := fault.NewInjector(fault.HelloStormPlan(*chaosSeed + 1))
+		ctl.Instrument(reg, "fault.ctl_")
+		inConn = wire.NewFaultConn(conn, ctl)
+		fmt.Fprintf(os.Stderr, "pelsd: chaos fault plan armed (seed %d), hello storm inbound\n", *chaosSeed)
 	}
 	shaped := wire.NewShapedConn(conn, linkCfg)
 	defer shaped.Close() // drains the bottleneck, then closes conn
@@ -154,16 +181,26 @@ func run() error {
 		StaleTimeout: *staleTimeout,
 	}
 	srvCfg := session.ServerConfig{
-		Conn:         conn,
-		Out:          shaped,
-		Clock:        wire.SystemClock{},
-		Session:      sessCfg,
-		Shards:       *shards,
-		MaxSessions:  *maxSessions,
-		IdleTimeout:  *idleTimeout,
-		Workers:      *workers,
-		ExitWhenIdle: *frames > 0,
-		Obs:          reg,
+		Conn:             inConn,
+		Out:              shaped,
+		Clock:            wire.SystemClock{},
+		Session:          sessCfg,
+		Shards:           *shards,
+		MaxSessions:      *maxSessions,
+		IdleTimeout:      *idleTimeout,
+		StuckTimeout:     *stuckTimeout,
+		RejectRetryAfter: *rejectRetryAfter,
+		Workers:          *workers,
+		ExitWhenIdle:     *frames > 0 && !*serve,
+		Obs:              reg,
+	}
+	if *overloadCap != "" {
+		oc, err := units.ParseBitRate(*overloadCap)
+		if err != nil {
+			return fmt.Errorf("-overload-capacity: %w", err)
+		}
+		srvCfg.Overload = session.OverloadConfig{Capacity: oc}
+		fmt.Fprintf(os.Stderr, "pelsd: overload shedding armed above %v aggregate demand\n", oc)
 	}
 	if *flow != 0 {
 		want := uint32(*flow)
@@ -243,8 +280,10 @@ func run() error {
 	}
 
 	st := srv.Stats()
-	fmt.Printf("sessions=%d completed=%d reaped=%d rejected=%d datagrams=%d bytes=%d feedback=%d batches=%d\n",
-		st.Admitted, st.Completed, st.Reaped, st.Rejected,
+	fmt.Printf("sessions=%d completed=%d reaped=%d reaped_stuck=%d rejected=%d rejected_full=%d rejected_drain=%d rejected_config=%d admit_races=%d sheds=%d restores=%d datagrams=%d bytes=%d feedback=%d batches=%d\n",
+		st.Admitted, st.Completed, st.Reaped, st.ReapedStuck,
+		st.Rejected, st.RejectedFull, st.RejectedDrain, st.RejectedConfig,
+		st.AdmitRaces, st.Sheds, st.Restores,
 		st.Datagrams, st.Bytes, st.FeedbackItems, st.FeedbackBatches)
 	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
 		return runErr

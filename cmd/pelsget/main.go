@@ -1,18 +1,28 @@
 // Command pelsget receives a PELS stream from pelsd and reports
 // per-color delivery statistics.
 //
-// It sends hello datagrams to the server until data flows, echoes every
-// fresh router label back as feedback (closing the MKC/γ control
-// loops), and prints key=value statistics on exit — one line per color
-// plus stream totals — so scripts and CI can assert on the result
-// (e.g. grep '^green .*lost=0'). With -max-green-loss set, the exit
-// status enforces the base-layer protection property directly.
+// The receiver's own subscription machinery drives admission: hellos are
+// retried with jittered exponential backoff (bounded by -hello-attempts)
+// until data flows, a server Reject is honored — its retry-after hint
+// delays the next attempt, or ends the run with a clear message when the
+// refusal is permanent — and a server Close either finishes the stream
+// (complete) or, with -reconnect, re-enters the hello loop as a fresh
+// session. Every fresh router label is echoed back as feedback (closing
+// the MKC/γ control loops), and key=value statistics print on exit — one
+// line per color plus stream totals — so scripts and CI can assert on
+// the result (e.g. grep '^green .*lost=0'). With -max-green-loss set,
+// the exit status enforces the base-layer protection property directly.
 //
 // Usage:
 //
 //	pelsget [-addr 127.0.0.1:9000] [-duration 10s] [-idle 1s]
 //	        [-flow 1] [-max-green-loss -1]
+//	        [-hello-retry 200ms] [-hello-attempts 25] [-reconnect]
 //	        [-probe-idle 500ms] [-probe-max 4s]
+//
+// pelsget exits nonzero when the hello budget runs out or the server
+// permanently rejects the flow, so harnesses distinguish "server full /
+// unreachable" from a served-but-lossy stream.
 //
 // When data stalls for -probe-idle, the receiver re-echoes the last
 // router label with exponential backoff (capped at -probe-max) so a
@@ -21,6 +31,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -48,6 +59,12 @@ func run() error {
 	flow := flag.Uint("flow", 1, "flow identifier")
 	maxGreenLoss := flag.Float64("max-green-loss", -1,
 		"fail (exit 1) if green loss rate exceeds this; negative disables the check")
+	helloRetry := flag.Duration("hello-retry", 200*time.Millisecond,
+		"initial hello retry interval (doubles with jitter until data flows)")
+	helloAttempts := flag.Int("hello-attempts", 25,
+		"give up (exit 1) after this many unanswered hellos (0 = unlimited)")
+	reconnect := flag.Bool("reconnect", false,
+		"re-hello after a retryable server Close or Reject instead of exiting")
 	probeIdle := flag.Duration("probe-idle", 500*time.Millisecond,
 		"re-echo the last feedback label after this long without data (0 = off)")
 	probeMax := flag.Duration("probe-max", 4*time.Second,
@@ -73,44 +90,40 @@ func run() error {
 	}
 
 	recv := wire.NewReceiver(conn, wire.ReceiverConfig{
-		Peer:      raddr,
-		Flow:      uint32(*flow),
-		ProbeIdle: *probeIdle,
-		ProbeMax:  *probeMax,
+		Peer:          raddr,
+		Flow:          uint32(*flow),
+		Hello:         true,
+		HelloRetry:    *helloRetry,
+		HelloAttempts: *helloAttempts,
+		Reconnect:     *reconnect,
+		ProbeIdle:     *probeIdle,
+		ProbeMax:      *probeMax,
 	})
 	recvDone := make(chan error, 1)
 	go func() { recvDone <- recv.Run(ctx) }()
 
-	hello, err := wire.EncodeDatagram(wire.Header{
-		Type:  wire.TypeHello,
-		Color: packet.ACK,
-		Flow:  uint32(*flow),
-	}, nil)
-	if err != nil {
-		return err
-	}
-
-	// Re-send the hello until data flows (it may race the server start
-	// or be lost), then watch for the stream to end: no traffic for
-	// -idle after at least one datagram arrived.
+	// The receiver retries its own hellos; here we only watch for the
+	// stream to end — terminal receiver state, or no traffic for -idle
+	// after at least one datagram arrived.
 	tick := time.NewTicker(200 * time.Millisecond)
 	defer tick.Stop()
 	var lastCount uint64
 	var lastProgress time.Time
+	var runErr error
 	started := false
 watch:
 	for {
 		select {
 		case <-ctx.Done():
 			break watch
+		case runErr = <-recvDone:
+			recvDone = nil
+			break watch
 		case now := <-tick.C:
 			st := recv.Stats()
 			switch {
 			case st.Datagrams == 0:
-				if _, err := conn.WriteTo(hello, raddr); err != nil {
-					stop()
-					return fmt.Errorf("send hello: %w", err)
-				}
+				// Still helloing; the receiver gives up on its own.
 			case !started || st.Datagrams > lastCount:
 				started = true
 				lastCount = st.Datagrams
@@ -121,7 +134,21 @@ watch:
 		}
 	}
 	stop()
-	<-recvDone
+	if recvDone != nil {
+		runErr = <-recvDone
+	}
+	if runErr != nil && !errors.Is(runErr, context.Canceled) && !errors.Is(runErr, context.DeadlineExceeded) {
+		var rej *wire.RejectError
+		switch {
+		case errors.As(runErr, &rej):
+			return fmt.Errorf("server refused flow %d: %v (retry-after %v)",
+				*flow, rej.Reason, rej.RetryAfter)
+		case errors.Is(runErr, wire.ErrHelloTimeout):
+			return fmt.Errorf("%s gave no stream: %w", *addr, runErr)
+		default:
+			return runErr
+		}
+	}
 
 	st := recv.Stats()
 	if st.Datagrams == 0 {
@@ -143,6 +170,9 @@ func formatStats(st wire.ReceiverStats) string {
 	fmt.Fprintf(&b, "stream datagrams=%d bytes=%d frames=%d epochs=%d goodput_bps=%.0f feedback_sent=%d decode_errors=%d\n",
 		st.Datagrams, st.Bytes, st.Frames, st.Epochs,
 		float64(st.Goodput()), st.FeedbackSent, st.DecodeErrors)
+	fmt.Fprintf(&b, "control hellos=%d rejects=%d closes=%d reconnects=%d last_close=%s\n",
+		st.HellosSent, st.Rejects, st.Closes, st.Reconnects,
+		strings.ToLower(st.LastClose.String()))
 	colors := make([]packet.Color, 0, len(st.Colors))
 	for c := range st.Colors {
 		colors = append(colors, c)

@@ -18,6 +18,18 @@
 //	         [-hello-retry 500ms] [-scrape http://127.0.0.1:9100]
 //	         [-shards-out shards.json] [-max-green-loss -1]
 //	         [-min-streams 0] [-assert-isolation]
+//	         [-reconnect] [-storm-at 0] [-storm-frac 0] [-storm-resume 2s]
+//	         [-min-rejects 0] [-min-resumes 0]
+//
+// Overload drills: with -reconnect, receivers honor the server's
+// control plane — Reject retry-after hints stretch the hello backoff and
+// a retryable Close re-enters the hello loop as a fresh session. With
+// -storm-frac F and -storm-at T, that fraction of receivers goes
+// completely dark T after start (no reads, no feedback — as a mass
+// client crash) and comes back -storm-resume later in one reconnect
+// wave. -min-rejects and -min-resumes make the drill assertable: fail
+// unless the server visibly refused that many hellos and that many
+// stormed receivers resumed streaming.
 //
 // The steady-state window opens at half the run: per-session SteadyRate
 // measures converged throughput after the ramp and MKC settling, and
@@ -73,6 +85,12 @@ func run() error {
 	maxGreenLoss := flag.Float64("max-green-loss", -1, "fail if any receiver's green loss rate exceeds this (-1 = off)")
 	minStreams := flag.Int("min-streams", 0, "fail if fewer receivers received any data")
 	assertIsolation := flag.Bool("assert-isolation", false, "fail on any cross-socket delivery or sequence regression")
+	reconnect := flag.Bool("reconnect", false, "re-hello after a retryable server Close instead of going dark")
+	stormAt := flag.Duration("storm-at", 0, "when the disconnect storm fires (needs -storm-frac)")
+	stormFrac := flag.Float64("storm-frac", 0, "fraction of receivers that go dark in the storm (0 = off)")
+	stormResume := flag.Duration("storm-resume", 2*time.Second, "how long stormed receivers stay dark")
+	minRejects := flag.Int("min-rejects", 0, "fail unless at least this many Rejects were observed")
+	minResumes := flag.Int("min-resumes", 0, "fail unless at least this many receivers resumed streaming after a reset")
 	flag.Parse()
 
 	server, err := net.ResolveUDPAddr("udp", *addr)
@@ -88,6 +106,12 @@ func run() error {
 		Seed:       *seed,
 		Ramp:       *ramp,
 		HelloRetry: *helloRetry,
+		Reconnect:  *reconnect,
+		Storm: wire.SwarmStorm{
+			At:       *stormAt,
+			Fraction: *stormFrac,
+			Resume:   *stormResume,
+		},
 	}, now)
 	if err != nil {
 		return err
@@ -147,7 +171,7 @@ loop:
 	}
 
 	stats := swarm.Stats()
-	if err := report(stats, *maxGreenLoss, *minStreams, *assertIsolation); err != nil {
+	if err := report(stats, *maxGreenLoss, *minStreams, *assertIsolation, *minRejects, *minResumes); err != nil {
 		return err
 	}
 	if runErr != nil && !errors.Is(runErr, context.Canceled) {
@@ -158,10 +182,11 @@ loop:
 
 // report prints the aggregate and convergence summary and applies the
 // assertion flags.
-func report(stats []wire.SwarmReceiverStats, maxGreenLoss float64, minStreams int, assertIsolation bool) error {
+func report(stats []wire.SwarmReceiverStats, maxGreenLoss float64, minStreams int, assertIsolation bool, minRejects, minResumes int) error {
 	var (
 		streams, datagrams, bytes, hellos, feedback uint64
 		regress, cross                              uint64
+		rejects, closes, reconnects, resumes        uint64
 		colors                                      = map[packet.Color]wire.ColorCount{}
 		rates                                       []float64
 		worstGreen                                  float64
@@ -172,6 +197,10 @@ func report(stats []wire.SwarmReceiverStats, maxGreenLoss float64, minStreams in
 		feedback += st.FeedbackSent
 		regress += st.SeqRegressions
 		cross += st.CrossDeliveries
+		rejects += st.Rejects
+		closes += st.Closes
+		reconnects += st.Reconnects
+		resumes += st.Resumes
 		if st.Datagrams == 0 {
 			continue
 		}
@@ -211,6 +240,8 @@ func report(stats []wire.SwarmReceiverStats, maxGreenLoss float64, minStreams in
 			len(rates), rates[0], rates[len(rates)/2], sum/float64(len(rates)), rates[len(rates)-1], sum)
 	}
 	fmt.Printf("isolation seq_regressions=%d cross_deliveries=%d\n", regress, cross)
+	fmt.Printf("control rejects=%d closes=%d reconnects=%d resumes=%d\n",
+		rejects, closes, reconnects, resumes)
 
 	if maxGreenLoss >= 0 && worstGreen > maxGreenLoss {
 		return fmt.Errorf("green loss %.4f on flow %d exceeds limit %.4f", worstGreen, worstGreenFlow, maxGreenLoss)
@@ -220,6 +251,12 @@ func report(stats []wire.SwarmReceiverStats, maxGreenLoss float64, minStreams in
 	}
 	if assertIsolation && (regress > 0 || cross > 0) {
 		return fmt.Errorf("isolation violated: %d sequence regressions, %d cross-socket deliveries", regress, cross)
+	}
+	if rejects < uint64(minRejects) {
+		return fmt.Errorf("only %d Rejects observed (minimum %d): the server never pushed back", rejects, minRejects)
+	}
+	if resumes < uint64(minResumes) {
+		return fmt.Errorf("only %d receivers resumed after reset (minimum %d)", resumes, minResumes)
 	}
 	return nil
 }

@@ -336,6 +336,24 @@ func Registry() []Entry {
 			},
 		},
 		{
+			Name:  "overload-wire",
+			Title: "Overload wire — flash crowd, hello storm, layer shedding and reconnect",
+			Run: func(seed int64) (Result, error) {
+				cfg := DefaultOverloadWireConfig()
+				cfg.Seed = seed
+				res, err := OverloadWire(cfg)
+				if err != nil {
+					return Result{}, err
+				}
+				return Result{
+					Output:  FormatOverloadWire(res),
+					Events:  res.Datagrams(),
+					Metrics: res.Metrics(),
+					Obs:     res.Obs,
+				}, nil
+			},
+		},
+		{
 			Name:  "nlayer-testbed",
 			Title: "N-layer ladder — 8 strict-priority layers with gamma split points",
 			Run: func(seed int64) (Result, error) {

@@ -38,6 +38,10 @@ const (
 	ClassOther
 )
 
+// MaskOf returns the TargetMask bit for one class; or the bits together
+// to target several.
+func MaskOf(c Class) uint8 { return 1 << uint(c) }
+
 // Kind enumerates the injectable fault types.
 type Kind int
 
@@ -112,6 +116,12 @@ type Event struct {
 	Kind Kind
 	From time.Duration
 	To   time.Duration
+
+	// TargetMask restricts the event to packets whose class bit is set
+	// (see MaskOf). 0 means all classes — the zero value keeps old plans
+	// working. KindStarveFeedback ignores the mask; its class split is
+	// intrinsic.
+	TargetMask uint8
 
 	// Gilbert–Elliott parameters (KindBurstLoss): per-packet transition
 	// probabilities and per-state drop probabilities. The chain starts in
@@ -292,6 +302,12 @@ func (i *Injector) Filter(now time.Duration, pkt Packet) Decision {
 			i.bad[idx] = false
 			continue
 		}
+		if e.TargetMask != 0 && e.Kind != KindStarveFeedback &&
+			e.TargetMask&MaskOf(pkt.Class) == 0 {
+			// Out-of-target packets consume no draws, so a class's
+			// decision stream is a pure function of that class's offers.
+			continue
+		}
 		switch e.Kind {
 		case KindLinkDown:
 			d.Drop = true
@@ -400,6 +416,24 @@ func Scramble(b []byte, bits uint64) {
 // a feedback-starvation window, then light corruption, duplication, and
 // reordering — all inside the first 12 seconds so short CI streams see
 // every fault and still get a clean tail to reconverge in.
+// HelloStormPlan stresses the admission path: hello-class traffic
+// (ClassOther) is duplicated heavily for the first stretch — every
+// retried hello may land two or three times, exercising first-hello-wins
+// and the admit-race counter — then a short window drops hellos outright
+// so receivers exercise their retry backoff. Data and feedback are
+// untouched; the storm is purely a control-plane fault.
+func HelloStormPlan(seed int64) Plan {
+	ctl := MaskOf(ClassOther)
+	return Plan{
+		Seed: seed,
+		Events: []Event{
+			{Kind: KindDuplicate, From: 0, To: 6 * time.Second, Prob: 0.75, TargetMask: ctl},
+			{Kind: KindBurstLoss, From: 2 * time.Second, To: 3500 * time.Millisecond,
+				PGoodBad: 0.2, PBadGood: 0.2, LossGood: 0.1, LossBad: 0.8, TargetMask: ctl},
+		},
+	}
+}
+
 func DefaultChaosPlan(seed int64) Plan {
 	return Plan{
 		Seed: seed,

@@ -227,3 +227,77 @@ func TestPlanEnd(t *testing.T) {
 		t.Fatalf("End = %v, want %v", got, sec(5))
 	}
 }
+
+// TestTargetMask checks class targeting: a masked event must never touch
+// out-of-target packets, and skipping them must not consume random draws
+// (the in-target decision stream is identical whether or not other
+// classes are interleaved).
+func TestTargetMask(t *testing.T) {
+	plan := Plan{Seed: 7, Events: []Event{{
+		Kind: KindDuplicate, From: 0, To: time.Hour, Prob: 0.5,
+		TargetMask: MaskOf(ClassOther),
+	}}}
+
+	pure := NewInjector(plan)
+	var want []bool
+	for n := 0; n < 500; n++ {
+		d := pure.Filter(time.Duration(n)*time.Millisecond, Packet{Size: 60, Class: ClassOther})
+		want = append(want, d.Duplicate)
+	}
+
+	mixed := NewInjector(plan)
+	var got []bool
+	for n := 0; n < 500; n++ {
+		now := time.Duration(n) * time.Millisecond
+		// Interleave data and feedback offers: none may be duplicated,
+		// none may perturb the control-class stream.
+		if d := mixed.Filter(now, Packet{Size: 1000, Class: ClassData}); d != (Decision{}) {
+			t.Fatalf("offer %d: masked event touched data class: %+v", n, d)
+		}
+		if d := mixed.Filter(now, Packet{Size: 60, Class: ClassFeedback}); d != (Decision{}) {
+			t.Fatalf("offer %d: masked event touched feedback class: %+v", n, d)
+		}
+		got = append(got, mixed.Filter(now, Packet{Size: 60, Class: ClassOther}).Duplicate)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("offer %d: interleaving other classes changed the control stream", i)
+		}
+	}
+}
+
+// TestHelloStormPlan sanity-checks the canned admission-storm schedule:
+// it validates, targets only control traffic, duplicates hellos often,
+// and drops some of them in the loss window.
+func TestHelloStormPlan(t *testing.T) {
+	plan := HelloStormPlan(3)
+	if err := plan.Validate(); err != nil {
+		t.Fatalf("HelloStormPlan invalid: %v", err)
+	}
+	for i, e := range plan.Events {
+		if e.TargetMask != MaskOf(ClassOther) {
+			t.Fatalf("event %d targets mask %#x, want control-only", i, e.TargetMask)
+		}
+	}
+	inj := NewInjector(plan)
+	var dups, drops int
+	for n := 0; n < 4000; n++ {
+		now := time.Duration(n) * time.Millisecond
+		d := inj.Filter(now, Packet{Size: 60, Class: ClassOther})
+		if d.Duplicate {
+			dups++
+		}
+		if d.Drop {
+			drops++
+		}
+		if dd := inj.Filter(now, Packet{Size: 1000, Class: ClassData}); dd != (Decision{}) {
+			t.Fatalf("offer %d: storm touched data traffic: %+v", n, dd)
+		}
+	}
+	if dups == 0 {
+		t.Fatal("storm duplicated no hellos")
+	}
+	if drops == 0 {
+		t.Fatal("storm dropped no hellos")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"os"
 	"slices"
@@ -44,6 +45,16 @@ type ServerConfig struct {
 	// feedback, no hello) for this long; 0 selects 10s, negative
 	// disables reaping.
 	IdleTimeout time.Duration
+	// StuckTimeout arms the per-session stuck watchdog: a session with
+	// neither accepted feedback nor a datagram sent for this long is
+	// reaped with Close(stuck). 0 disables.
+	StuckTimeout time.Duration
+	// RejectRetryAfter is the retry-after hint carried by Reject
+	// datagrams; 0 selects 500ms, negative sends no hint.
+	RejectRetryAfter time.Duration
+	// Overload parameterizes server-wide graceful layer shedding; the
+	// zero value (Capacity 0) disables it.
+	Overload OverloadConfig
 	// WheelTick is the pacing wheel granularity; 0 selects 1ms. Sends
 	// quantize to it: a coarser tick means burstier pacing, never a
 	// lower rate (the token bucket repays elapsed time).
@@ -100,6 +111,12 @@ func (c ServerConfig) withDefaults() ServerConfig {
 	if c.BatchWait <= 0 {
 		c.BatchWait = 2 * time.Millisecond
 	}
+	switch {
+	case c.RejectRetryAfter == 0:
+		c.RejectRetryAfter = 500 * time.Millisecond
+	case c.RejectRetryAfter < 0:
+		c.RejectRetryAfter = 0
+	}
 	c.Session = c.Session.WithDefaults()
 	return c
 }
@@ -112,11 +129,22 @@ type ServerStats struct {
 	Admitted        uint64
 	Completed       uint64
 	Reaped          uint64
+	ReapedStuck     uint64
 	Rejected        uint64
+	RejectedFull    uint64
+	RejectedDrain   uint64
+	RejectedConfig  uint64
+	AdmitRaces      uint64
 	Hellos          uint64
 	FeedbackItems   uint64
 	FeedbackBatches uint64
 	WheelTimers     int
+	// Overload controller view: current shed level, last load score, and
+	// how many shed/restore transitions have happened.
+	ShedLevel int
+	Load      float64
+	Sheds     uint64
+	Restores  uint64
 }
 
 // demuxPoll bounds the demux read timeout so context cancellation and
@@ -137,13 +165,33 @@ type Server struct {
 	draining atomic.Bool
 	started  atomic.Bool
 
-	admitted  atomic.Uint64
-	completed atomic.Uint64
-	reaped    atomic.Uint64
-	rejected  atomic.Uint64
-	hellos    atomic.Uint64
-	fbItems   atomic.Uint64
-	fbBatches atomic.Uint64
+	admitted    atomic.Uint64
+	completed   atomic.Uint64
+	reaped      atomic.Uint64
+	reapedStuck atomic.Uint64
+	rejected    atomic.Uint64
+	rejFull     atomic.Uint64
+	rejDraining atomic.Uint64
+	rejConfig   atomic.Uint64
+	admitRaces  atomic.Uint64
+	hellos      atomic.Uint64
+	fbItems     atomic.Uint64
+	fbBatches   atomic.Uint64
+
+	// Overload controller state: the controller itself is owned by the
+	// driver goroutine; the published level and load are read everywhere.
+	overload *Overload // nil when disabled
+	shedLvl  atomic.Int32
+	loadBits atomic.Uint64 // math.Float64bits of the last load score
+	sheds    atomic.Uint64
+	restores atomic.Uint64
+
+	// Control datagram scratch: rejects and closes are encoded under
+	// ctlMu (demux, driver, and workers all send them) and written
+	// straight to Conn, bypassing the shaped data path — a rejection
+	// must get out precisely when the bottleneck is saturated.
+	ctlMu  sync.Mutex
+	ctlBuf []byte
 
 	idleOnce sync.Once
 	idleCh   chan struct{}
@@ -151,15 +199,24 @@ type Server struct {
 	// Dispatch scratch, owned by the demux goroutine.
 	fbScratch []packet.Feedback
 
-	obsDatagrams *obs.Counter
-	obsBytes     *obs.Counter
-	obsAdmitted  *obs.Counter
-	obsCompleted *obs.Counter
-	obsReaped    *obs.Counter
-	obsRejected  *obs.Counter
-	obsHellos    *obs.Counter
-	obsFbItems   *obs.Counter
-	obsFbBatches *obs.Counter
+	obsDatagrams   *obs.Counter
+	obsBytes       *obs.Counter
+	obsAdmitted    *obs.Counter
+	obsCompleted   *obs.Counter
+	obsReaped      *obs.Counter
+	obsReapedStuck *obs.Counter
+	obsRejected    *obs.Counter
+	obsRejFull     *obs.Counter
+	obsRejDraining *obs.Counter
+	obsRejConfig   *obs.Counter
+	obsAdmitRaces  *obs.Counter
+	obsHellos      *obs.Counter
+	obsFbItems     *obs.Counter
+	obsFbBatches   *obs.Counter
+	obsShed        *obs.Counter
+	obsSheds       *obs.Counter
+	obsRestores    *obs.Counter
+	obsCtlSent     *obs.Counter
 }
 
 // NewServer validates cfg and builds a server (nothing runs until Run).
@@ -185,6 +242,14 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		jobs:   make(chan *Session, cfg.MaxSessions+cfg.Workers+1),
 		kick:   make(chan struct{}, 1),
 		idleCh: make(chan struct{}),
+		ctlBuf: make([]byte, 0, wire.HeaderSize),
+	}
+	if cfg.Overload.Enabled() {
+		layers := cfg.Session.Layers
+		if layers == 0 {
+			layers = 3
+		}
+		s.overload = NewOverload(cfg.Overload, layers)
 	}
 	if cfg.Obs != nil {
 		s.obsDatagrams = cfg.Obs.Counter("session.datagrams")
@@ -192,13 +257,24 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.obsAdmitted = cfg.Obs.Counter("session.admitted")
 		s.obsCompleted = cfg.Obs.Counter("session.completed")
 		s.obsReaped = cfg.Obs.Counter("session.reaped")
+		s.obsReapedStuck = cfg.Obs.Counter("session.reaped_stuck")
 		s.obsRejected = cfg.Obs.Counter("session.rejected")
+		s.obsRejFull = cfg.Obs.Counter("session.rejected_full")
+		s.obsRejDraining = cfg.Obs.Counter("session.rejected_draining")
+		s.obsRejConfig = cfg.Obs.Counter("session.rejected_config")
+		s.obsAdmitRaces = cfg.Obs.Counter("session.admit_races")
 		s.obsHellos = cfg.Obs.Counter("session.hellos")
 		s.obsFbItems = cfg.Obs.Counter("session.feedback_items")
 		s.obsFbBatches = cfg.Obs.Counter("session.feedback_batches")
+		s.obsShed = cfg.Obs.Counter("session.shed_datagrams")
+		s.obsSheds = cfg.Obs.Counter("session.sheds")
+		s.obsRestores = cfg.Obs.Counter("session.restores")
+		s.obsCtlSent = cfg.Obs.Counter("session.control_sent")
 		cfg.Obs.GaugeFunc("session.active", func() float64 { return float64(s.table.Len()) })
 		cfg.Obs.GaugeFunc("session.wheel_timers", func() float64 { return float64(s.wheel.Len()) })
 		cfg.Obs.GaugeFunc("session.jobs_depth", func() float64 { return float64(len(s.jobs)) })
+		cfg.Obs.GaugeFunc("session.shed_level", func() float64 { return float64(s.shedLvl.Load()) })
+		cfg.Obs.GaugeFunc("session.load", func() float64 { return math.Float64frombits(s.loadBits.Load()) })
 	}
 	return s, nil
 }
@@ -216,11 +292,20 @@ func (s *Server) Stats() ServerStats {
 		Admitted:        s.admitted.Load(),
 		Completed:       s.completed.Load(),
 		Reaped:          s.reaped.Load(),
+		ReapedStuck:     s.reapedStuck.Load(),
 		Rejected:        s.rejected.Load(),
+		RejectedFull:    s.rejFull.Load(),
+		RejectedDrain:   s.rejDraining.Load(),
+		RejectedConfig:  s.rejConfig.Load(),
+		AdmitRaces:      s.admitRaces.Load(),
 		Hellos:          s.hellos.Load(),
 		FeedbackItems:   s.fbItems.Load(),
 		FeedbackBatches: s.fbBatches.Load(),
 		WheelTimers:     s.wheel.Len(),
+		ShedLevel:       int(s.shedLvl.Load()),
+		Load:            math.Float64frombits(s.loadBits.Load()),
+		Sheds:           s.sheds.Load(),
+		Restores:        s.restores.Load(),
 	}
 	if s.obsDatagrams != nil {
 		st.Datagrams = uint64(s.obsDatagrams.Value())
@@ -378,18 +463,22 @@ func (s *Server) handleDatagram(b []byte, from net.Addr, now time.Time) {
 	}
 }
 
-// admit creates (or refreshes) the session for a hello.
+// admit creates (or refreshes) the session for a hello. Refusals are
+// spoken, not silent: each one sends a Reject datagram with the reason
+// and a retry-after hint so the receiver can back off and re-hello
+// instead of staring at a black hole.
 func (s *Server) admit(from net.Addr, flow uint32, now time.Time) {
 	key := Key{Addr: from.String(), Flow: flow}
 	if sess := s.table.Get(key); sess != nil {
 		sess.Touch(now) // duplicate hello: receiver is alive
 		return
 	}
-	if s.draining.Load() || s.table.Len() >= s.cfg.MaxSessions {
-		s.rejected.Add(1)
-		if s.obsRejected != nil {
-			s.obsRejected.Inc()
-		}
+	if s.draining.Load() {
+		s.reject(key, from, wire.ReasonDraining, now)
+		return
+	}
+	if s.table.Len() >= s.cfg.MaxSessions {
+		s.reject(key, from, wire.ReasonServerFull, now)
 		return
 	}
 	cfg := s.cfg.Session
@@ -397,33 +486,90 @@ func (s *Server) admit(from net.Addr, flow uint32, now time.Time) {
 		s.cfg.Tune(key, &cfg)
 		cfg = cfg.WithDefaults()
 		if err := cfg.Validate(); err != nil {
-			s.rejected.Add(1)
-			if s.obsRejected != nil {
-				s.obsRejected.Inc()
-			}
+			s.reject(key, from, wire.ReasonBadConfig, now)
 			return
 		}
 	}
 	sess, err := NewSession(key, from, s.cfg.Out, cfg, now)
 	if err != nil {
-		s.rejected.Add(1)
-		if s.obsRejected != nil {
-			s.obsRejected.Inc()
-		}
+		s.reject(key, from, wire.ReasonBadConfig, now)
 		return
 	}
-	sess.instrument(s.obsDatagrams, s.obsBytes)
+	sess.instrument(s.obsDatagrams, s.obsBytes, s.obsShed)
+	sess.setShedLevel(&s.shedLvl)
 	if !s.table.Put(key, sess) {
-		return // lost an admission race
+		// A concurrent hello for the same key won the race and its
+		// session is live — this duplicate counts as a race, not a
+		// rejection, and no Reject goes on the wire.
+		s.admitRaces.Add(1)
+		if s.obsAdmitRaces != nil {
+			s.obsAdmitRaces.Inc()
+		}
+		return
 	}
 	s.admitted.Add(1)
 	if s.obsAdmitted != nil {
 		s.obsAdmitted.Inc()
 	}
+	if s.draining.Load() {
+		// Shutdown may have set the flag between the drain check above and
+		// the Put: its drain sweep either saw this session (Put ordered
+		// before the sweep's lock) or will be covered by this re-check —
+		// either way no admitted session escapes the drain.
+		sess.Drain()
+	}
 	// Arm the session's single wheel timer; the closure is allocated
 	// once per session and reused by every Reschedule.
 	sess.timer = s.wheel.Schedule(now, func(time.Time) { s.jobs <- sess })
 	s.kickDriver()
+}
+
+// reject counts one refused hello — aggregate, per-reason, and on the
+// shard the key targeted — and answers it with a Reject datagram.
+func (s *Server) reject(key Key, to net.Addr, reason wire.Reason, now time.Time) {
+	s.rejected.Add(1)
+	if s.obsRejected != nil {
+		s.obsRejected.Inc()
+	}
+	var ctr *atomic.Uint64
+	var obsCtr *obs.Counter
+	switch reason {
+	case wire.ReasonServerFull:
+		ctr, obsCtr = &s.rejFull, s.obsRejFull
+	case wire.ReasonDraining:
+		ctr, obsCtr = &s.rejDraining, s.obsRejDraining
+	default:
+		ctr, obsCtr = &s.rejConfig, s.obsRejConfig
+	}
+	ctr.Add(1)
+	if obsCtr != nil {
+		obsCtr.Inc()
+	}
+	s.table.RecordReject(key, reason)
+	retry := s.cfg.RejectRetryAfter
+	if reason == wire.ReasonBadConfig {
+		retry = 0 // retrying an invalid config cannot succeed
+	}
+	s.sendControl(wire.TypeReject, key.Flow, reason, retry, to, now)
+}
+
+// sendControl encodes and writes one Reject or Close datagram straight
+// to the server socket (not the shaped data path). The scratch buffer is
+// shared by every caller, so a mutex serializes encode+write; control
+// traffic is rare enough that contention here is irrelevant.
+func (s *Server) sendControl(t wire.Type, flow uint32, reason wire.Reason, retry time.Duration, to net.Addr, now time.Time) {
+	h := wire.ControlHeader(t, flow, reason, retry, now.UnixNano())
+	s.ctlMu.Lock()
+	defer s.ctlMu.Unlock()
+	b, err := wire.AppendDatagram(s.ctlBuf[:0], h, nil)
+	if err != nil {
+		return // unreachable: ControlHeader is valid by construction
+	}
+	s.ctlBuf = b
+	_, _ = s.cfg.Conn.WriteTo(b, to)
+	if s.obsCtlSent != nil {
+		s.obsCtlSent.Inc()
+	}
 }
 
 // dispatch applies one flushed feedback batch: items are stably sorted by
@@ -479,29 +625,44 @@ func (s *Server) worker(ctx context.Context) {
 	}
 }
 
-// finish removes a completed session from the table.
+// finish removes a completed session from the table and tells the
+// receiver why it ended (completed its frames, drained, or died on an
+// internal error) so it can finish or reconnect instead of timing out.
 func (s *Server) finish(sess *Session) {
 	if s.table.Delete(sess.Key(), false) {
 		s.completed.Add(1)
 		if s.obsCompleted != nil {
 			s.obsCompleted.Inc()
 		}
+		reason := sess.CloseReason()
+		if reason == wire.ReasonNone {
+			reason = wire.ReasonComplete
+		}
+		s.sendControl(wire.TypeClose, sess.Key().Flow, reason, 0, sess.Peer(), s.cfg.Clock.Now())
 	}
 	s.checkIdleExit()
 }
 
 // driver advances the wheel on the configured tick and hands fired
 // sessions to the worker pool; with an empty wheel it parks until a
-// schedule kicks it. It also runs the idle reaper on a coarse cadence.
+// schedule kicks it. It also runs the idle reaper, the stuck watchdog,
+// and the overload controller on coarse cadences.
 func (s *Server) driver(ctx context.Context) {
 	var fired []*Timer
 	reapEvery := s.cfg.IdleTimeout / 2
-	lastReap := s.cfg.Clock.Now()
+	stuckEvery := s.cfg.StuckTimeout / 2
+	now := s.cfg.Clock.Now()
+	lastReap, lastStuck, lastOver := now, now, now
+	var lateEWMA float64 // smoothed driver lag behind the tick, seconds
 	for ctx.Err() == nil {
-		now := s.cfg.Clock.Now()
+		loopStart := s.cfg.Clock.Now()
+		now = loopStart
 		if s.cfg.IdleTimeout > 0 && now.Sub(lastReap) >= reapEvery {
 			lastReap = now
-			if n := s.table.Reap(now, s.cfg.IdleTimeout, nil); n > 0 {
+			reapNow := now
+			if n := s.table.Reap(now, s.cfg.IdleTimeout, func(k Key, sess *Session) {
+				s.sendControl(wire.TypeClose, k.Flow, wire.ReasonIdle, 0, sess.Peer(), reapNow)
+			}); n > 0 {
 				s.reaped.Add(uint64(n))
 				if s.obsReaped != nil {
 					s.obsReaped.Add(int64(n))
@@ -509,12 +670,28 @@ func (s *Server) driver(ctx context.Context) {
 				s.checkIdleExit()
 			}
 		}
+		if s.cfg.StuckTimeout > 0 && now.Sub(lastStuck) >= stuckEvery {
+			lastStuck = now
+			s.reapStuck(now)
+		}
+		if s.overload != nil && now.Sub(lastOver) >= s.overload.cfg.Every {
+			lastOver = now
+			s.evalOverload(now, lateEWMA)
+		}
 		fired = s.wheel.Advance(now, fired[:0])
 		for i, t := range fired {
 			t.Call(now)
 			fired[i] = nil
 		}
 		if s.wheel.Len() == 0 {
+			if s.overload != nil && s.shedLvl.Load() > 0 {
+				// An empty wheel must not park the driver mid-shed: the
+				// overload controller has to keep observing the (now
+				// receding) load so the shed unwinds. Tick until level 0,
+				// then block as usual.
+				_ = s.cfg.Clock.Sleep(ctx, s.cfg.WheelTick)
+				continue
+			}
 			select {
 			case <-ctx.Done():
 				return
@@ -523,6 +700,71 @@ func (s *Server) driver(ctx context.Context) {
 			continue
 		}
 		_ = s.cfg.Clock.Sleep(ctx, s.cfg.WheelTick)
+		// One loop should cost about a tick; the smoothed excess is the
+		// wheel-lateness overload signal.
+		late := (s.cfg.Clock.Now().Sub(loopStart) - s.cfg.WheelTick).Seconds()
+		if late < 0 {
+			late = 0
+		}
+		lateEWMA += 0.2 * (late - lateEWMA)
+	}
+}
+
+// reapStuck sweeps the stuck watchdog: sessions with neither accepted
+// feedback nor a sent datagram for StuckTimeout are closed, removed, and
+// told why.
+func (s *Server) reapStuck(now time.Time) {
+	n := 0
+	s.table.Range(func(k Key, sess *Session) bool {
+		if sess.expireStuck(now, s.cfg.StuckTimeout) {
+			if s.table.Delete(k, true) {
+				n++
+				s.sendControl(wire.TypeClose, k.Flow, wire.ReasonStuck, 0, sess.Peer(), now)
+			}
+		}
+		return true
+	})
+	if n > 0 {
+		s.reapedStuck.Add(uint64(n))
+		if s.obsReapedStuck != nil {
+			s.obsReapedStuck.Add(int64(n))
+		}
+		s.checkIdleExit()
+	}
+}
+
+// evalOverload feeds the controller one observation and publishes any
+// level change to the sessions (and counters).
+func (s *Server) evalOverload(now time.Time, lateEWMA float64) {
+	tick := s.cfg.WheelTick.Seconds()
+	var demand float64
+	s.table.Range(func(_ Key, sess *Session) bool {
+		demand += sess.Rate().Bps()
+		return true
+	})
+	sig := loadSignals{
+		Occupancy: float64(s.table.Len()) / float64(s.cfg.MaxSessions),
+		Backlog:   float64(len(s.jobs)) / float64(cap(s.jobs)),
+		Lateness:  lateEWMA / (lateHorizon * tick),
+		Demand:    demand / s.overload.cfg.Capacity.Bps(),
+	}
+	s.loadBits.Store(math.Float64bits(sig.Score()))
+	prev := int(s.shedLvl.Load())
+	lvl, changed := s.overload.Update(now, sig)
+	if !changed {
+		return
+	}
+	s.shedLvl.Store(int32(lvl))
+	if lvl > prev {
+		s.sheds.Add(1)
+		if s.obsSheds != nil {
+			s.obsSheds.Inc()
+		}
+	} else {
+		s.restores.Add(1)
+		if s.obsRestores != nil {
+			s.obsRestores.Inc()
+		}
 	}
 }
 

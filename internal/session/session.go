@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cc"
@@ -161,6 +162,11 @@ type Stats struct {
 	Recoveries       uint64
 	RouterChanges    uint64
 	Degrade          float64
+	// Shed counts planned datagrams dropped at the source by the
+	// server-wide overload controller instead of being sent.
+	Shed uint64
+	// CloseReason records why a closed session ended (none while live).
+	CloseReason wire.Reason
 }
 
 // minDegrade mirrors wire.Sender's watchdog floor: ten halvings is far
@@ -209,17 +215,26 @@ type Session struct {
 	layerPlan fgs.LayerPlan //pelsvet:guards mu
 	gammas    []float64     //pelsvet:guards mu
 
-	// Shared aggregate counters (one pair per server, not per session);
+	// Shared aggregate counters (one set per server, not per session);
 	// nil when the server runs without a registry.
 	aggDatagrams *obs.Counter
 	aggBytes     *obs.Counter
+	aggShed      *obs.Counter
 
-	degrade        float64   //pelsvet:guards mu
-	lastFeedbackAt time.Time //pelsvet:guards mu
-	lastDecayAt    time.Time //pelsvet:guards mu
-	lastActivity   time.Time //pelsvet:guards mu
-	lastRouterID   int       //pelsvet:guards mu
-	haveRouter     bool      //pelsvet:guards mu
+	// shedLevel points at the server-wide overload level (write-once
+	// before the session is pumped, read atomically per pump); nil means
+	// no overload controller.
+	shedLevel *atomic.Int32
+
+	degrade        float64     //pelsvet:guards mu
+	lastFeedbackAt time.Time   //pelsvet:guards mu
+	lastDecayAt    time.Time   //pelsvet:guards mu
+	lastActivity   time.Time   //pelsvet:guards mu
+	lastSendAt     time.Time   //pelsvet:guards mu — stuck watchdog: last datagram on the wire
+	lastRouterID   int         //pelsvet:guards mu
+	haveRouter     bool        //pelsvet:guards mu
+	closeReason    wire.Reason //pelsvet:guards mu — why the session closed
+	frameGateAt    time.Time   //pelsvet:guards mu — earliest next frame start, enforced while shedding
 }
 
 // NewSession builds a session streaming to peer through out, with its
@@ -255,6 +270,7 @@ func NewSession(key Key, peer net.Addr, out wire.PacketWriter, cfg Config, now t
 		degrade:        1,
 		lastFeedbackAt: now,
 		lastActivity:   now,
+		lastSendAt:     now,
 	}
 	if cfg.Layered() {
 		s.layered = true
@@ -269,11 +285,17 @@ func NewSession(key Key, peer net.Addr, out wire.PacketWriter, cfg Config, now t
 func (s *Session) Key() Key { return s.key }
 
 // instrument attaches the server's shared aggregate counters, bumped on
-// every datagram sent. Must be called before the session is pumped.
-func (s *Session) instrument(datagrams, bytes *obs.Counter) {
+// every datagram sent or shed. Must be called before the session is
+// pumped.
+func (s *Session) instrument(datagrams, bytes, shed *obs.Counter) {
 	s.aggDatagrams = datagrams
 	s.aggBytes = bytes
+	s.aggShed = shed
 }
+
+// setShedLevel attaches the server's overload level. Must be called
+// before the session is pumped.
+func (s *Session) setShedLevel(lvl *atomic.Int32) { s.shedLevel = lvl }
 
 // Peer returns the receiver's address.
 func (s *Session) Peer() net.Addr { return s.peer }
@@ -290,22 +312,30 @@ func (s *Session) pump(now time.Time) (next time.Time, done bool) {
 		return time.Time{}, true
 	}
 	s.checkStaleLocked(now)
+	shed := s.shedLevelNow()
 	for {
 		if s.reserved {
 			// The previous wake charged the bucket for this datagram;
 			// its wait has now elapsed — put it on the wire.
-			s.sendLocked()
+			s.sendLocked(now)
 			continue
 		}
 		if s.planIdx >= s.planTotalLocked() {
 			// Frame boundary.
 			if s.cfg.MaxFrames > 0 && s.frame >= s.cfg.MaxFrames {
 				s.state = StateClosed
+				s.closeReason = wire.ReasonComplete
 				return time.Time{}, true
 			}
 			if s.state == StateDraining {
 				s.state = StateClosed
 				return time.Time{}, true
+			}
+			if shed > 0 && !s.frameGateAt.IsZero() && now.Before(s.frameGateAt) {
+				// While shedding, frames no longer fill the token bucket,
+				// so bucket self-clocking alone would run the frame
+				// counter fast; hold the boundary to the frame cadence.
+				return s.frameGateAt, false
 			}
 			budget := s.scaler.Budget(s.frame, s.effectiveRateLocked(), s.cfg.FrameInterval)
 			if s.layered {
@@ -318,11 +348,23 @@ func (s *Session) pump(now time.Time) (next time.Time, done bool) {
 			s.planIdx = 0
 			s.frame++
 			s.stats.Frames = s.frame
+			s.frameGateAt = now.Add(s.cfg.FrameInterval)
 			if s.planTotalLocked() == 0 {
 				// Degenerate budget: idle one frame interval instead of
 				// spinning (mirrors wire.Sender).
 				return now.Add(s.cfg.FrameInterval), false
 			}
+		}
+		if shed > 0 && s.shedsPacketLocked(s.planIdx, shed) {
+			// Overload: drop this enhancement packet at the source —
+			// uncharged against the bucket, invisible to the receiver's
+			// per-color loss (its sequence number is never consumed).
+			s.planIdx++
+			s.stats.Shed++
+			if s.aggShed != nil {
+				s.aggShed.Inc()
+			}
+			continue
 		}
 		color := s.planColorLocked(s.planIdx)
 		h := wire.Header{
@@ -340,14 +382,50 @@ func (s *Session) pump(now time.Time) (next time.Time, done bool) {
 		if err != nil {
 			// Unreachable with a validated config; close rather than spin.
 			s.state = StateClosed
+			s.closeReason = wire.ReasonBadConfig
 			return time.Time{}, true
 		}
 		if wait := s.pacer.Reserve(len(s.buf), now); wait > 0 {
 			s.reserved = true
 			return now.Add(wait), false
 		}
-		s.sendLocked()
+		s.sendLocked(now)
 	}
+}
+
+// shedLevelNow reads the server-wide overload level (0 when the server
+// runs without an overload controller).
+func (s *Session) shedLevelNow() int {
+	if s.shedLevel == nil {
+		return 0
+	}
+	if lvl := s.shedLevel.Load(); lvl > 0 {
+		return int(lvl)
+	}
+	return 0
+}
+
+// shedsPacketLocked reports whether plan packet idx belongs to a layer
+// the given shed level drops: level n removes the top n layers, and the
+// base layer always survives. Classic sessions map their three colors
+// through the same rule (level 1 drops red, level 2 yellow too).
+func (s *Session) shedsPacketLocked(idx, lvl int) bool {
+	var layer, n int
+	if s.layered {
+		layer = s.layerPlan.Layer(idx)
+		n = s.cfg.Layers
+	} else {
+		l, ok := s.plan.Color(idx).Layer()
+		if !ok {
+			return false
+		}
+		layer, n = l, 3
+	}
+	keep := n - lvl
+	if keep < 1 {
+		keep = 1
+	}
+	return layer >= keep
 }
 
 // planTotalLocked returns the packet count of the current frame plan.
@@ -368,12 +446,13 @@ func (s *Session) planColorLocked(idx int) packet.Color {
 }
 
 // sendLocked writes the encoded datagram in buf and advances the plan.
-func (s *Session) sendLocked() {
+func (s *Session) sendLocked(now time.Time) {
 	// Write errors have nowhere to go — the shaping link models loss, and
 	// a vanished receiver is collected by the idle reaper.
 	_, _ = s.out.WriteTo(s.buf, s.peer)
 	s.reserved = false
 	s.planIdx++
+	s.lastSendAt = now
 	s.stats.Datagrams++
 	s.stats.Bytes += uint64(len(s.buf))
 	if s.aggDatagrams != nil {
@@ -479,6 +558,7 @@ func (s *Session) Drain() {
 	s.mu.Lock()
 	if s.state == StateStreaming {
 		s.state = StateDraining
+		s.closeReason = wire.ReasonDraining
 	}
 	s.mu.Unlock()
 }
@@ -493,7 +573,37 @@ func (s *Session) expireIdle(now time.Time, idle time.Duration) bool {
 		return false
 	}
 	s.state = StateClosed
+	s.closeReason = wire.ReasonIdle
 	return true
+}
+
+// expireStuck closes a session the stuck watchdog caught: neither an
+// accepted feedback label nor a datagram on the wire for the whole
+// window. Such a session holds a table slot while making no progress —
+// distinct from idle (expireIdle fires on receiver silence even while
+// the pump still sends). Reports whether it closed the session here.
+func (s *Session) expireStuck(now time.Time, window time.Duration) bool {
+	if window <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.state == StateClosed {
+		return false
+	}
+	if now.Sub(s.lastFeedbackAt) < window || now.Sub(s.lastSendAt) < window {
+		return false
+	}
+	s.state = StateClosed
+	s.closeReason = wire.ReasonStuck
+	return true
+}
+
+// CloseReason reports why the session closed (ReasonNone while live).
+func (s *Session) CloseReason() wire.Reason {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closeReason
 }
 
 // State returns the lifecycle state.
@@ -527,5 +637,6 @@ func (s *Session) Stats() Stats {
 	st.Gamma = s.gamma.Value()
 	st.LastLoss = s.ctrl.LastLoss()
 	st.Degrade = s.degrade
+	st.CloseReason = s.closeReason
 	return st
 }

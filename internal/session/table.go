@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/wire"
 )
 
 // Key identifies one session: the receiver's transport address plus the
@@ -32,6 +33,12 @@ type tableShard struct {
 	admitted *obs.Counter
 	removed  *obs.Counter
 	reaped   *obs.Counter
+	// Rejected hellos attributed to the shard their key would have
+	// landed in, split by reason so /debug/shards distinguishes a full
+	// server from a draining one from a broken Tune hook.
+	rejFull     *obs.Counter
+	rejDraining *obs.Counter
+	rejConfig   *obs.Counter
 
 	mu sync.RWMutex
 	m  map[Key]*Session
@@ -61,6 +68,9 @@ func NewTable(shards int) *Table {
 		sh.admitted = sh.reg.Counter("shard.admitted")
 		sh.removed = sh.reg.Counter("shard.removed")
 		sh.reaped = sh.reg.Counter("shard.reaped")
+		sh.rejFull = sh.reg.Counter("shard.rejected_full")
+		sh.rejDraining = sh.reg.Counter("shard.rejected_draining")
+		sh.rejConfig = sh.reg.Counter("shard.rejected_config")
 		sh.reg.GaugeFunc("shard.sessions", func() float64 {
 			sh.mu.RLock()
 			defer sh.mu.RUnlock()
@@ -123,6 +133,22 @@ func (t *Table) hash(k Key) uint32 {
 }
 
 func (t *Table) shard(k Key) *tableShard { return t.shards[t.hash(k)&t.mask] }
+
+// RecordReject attributes one rejected hello to the shard its key would
+// have hashed into, distinguishable by reason. Draining and full share
+// the shard a receiver targeted; everything else (Tune validation,
+// session construction) counts as config.
+func (t *Table) RecordReject(k Key, reason wire.Reason) {
+	sh := t.shard(k)
+	switch reason {
+	case wire.ReasonServerFull:
+		sh.rejFull.Inc()
+	case wire.ReasonDraining:
+		sh.rejDraining.Inc()
+	default:
+		sh.rejConfig.Inc()
+	}
+}
 
 // ShardIndex returns which shard k hashes to (for tests and diagnostics).
 func (t *Table) ShardIndex(k Key) int { return int(t.hash(k) & t.mask) }

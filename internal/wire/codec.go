@@ -22,6 +22,15 @@ const (
 	// TypeHello subscribes a receiver to a stream; cmd/pelsd starts a
 	// session when one arrives.
 	TypeHello Type = 3
+	// TypeReject tells a receiver its hello was not admitted. The Index
+	// field carries a Reason code and the Frame field a retry-after hint
+	// in milliseconds (see ControlHeader) — reusing existing header
+	// fields keeps the 60-byte layout, the zero-alloc codec, and the CRC
+	// coverage unchanged.
+	TypeReject Type = 4
+	// TypeClose tells a receiver its session ended (drained, reaped
+	// idle/stuck, or completed). Same field reuse as TypeReject.
+	TypeClose Type = 5
 )
 
 // String returns the lower-case type name.
@@ -33,6 +42,10 @@ func (t Type) String() string {
 		return "feedback"
 	case TypeHello:
 		return "hello"
+	case TypeReject:
+		return "reject"
+	case TypeClose:
+		return "close"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
@@ -146,7 +159,7 @@ func (h Header) validate() error {
 		if !h.Color.IsWireBand() && h.Color != packet.BestEffort {
 			return fmt.Errorf("%w: data datagram colored %v", ErrColor, h.Color)
 		}
-	case TypeFeedback, TypeHello:
+	case TypeFeedback, TypeHello, TypeReject, TypeClose:
 		if h.Color != packet.ACK {
 			return fmt.Errorf("%w: %v datagram colored %v (want ack)", ErrColor, h.Type, h.Color)
 		}

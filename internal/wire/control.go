@@ -1,0 +1,116 @@
+package wire
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// Reason classifies Reject and Close datagrams. It travels in the
+// header's Index field, so the control plane fits the existing 60-byte
+// layout without a codec change.
+type Reason uint16
+
+const (
+	// ReasonNone is the zero value; control datagrams always carry an
+	// explicit reason.
+	ReasonNone Reason = iota
+	// ReasonServerFull rejects a hello because the session table is at
+	// MaxSessions. Retry-after tells the receiver when a slot may free.
+	ReasonServerFull
+	// ReasonDraining rejects a hello (or closes a session) because the
+	// server is shutting down.
+	ReasonDraining
+	// ReasonBadConfig rejects a hello whose tuned session config failed
+	// validation; retrying without operator action is pointless.
+	ReasonBadConfig
+	// ReasonIdle closes a session reaped for feedback silence.
+	ReasonIdle
+	// ReasonStuck closes a session reaped by the stuck watchdog: no
+	// accepted feedback and no pump progress for the whole window.
+	ReasonStuck
+	// ReasonComplete closes a session that streamed all its frames; the
+	// receiver should finish, not reconnect.
+	ReasonComplete
+)
+
+// String returns the lower-case reason name used in logs and counters.
+func (r Reason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonServerFull:
+		return "server-full"
+	case ReasonDraining:
+		return "draining"
+	case ReasonBadConfig:
+		return "bad-config"
+	case ReasonIdle:
+		return "idle"
+	case ReasonStuck:
+		return "stuck"
+	case ReasonComplete:
+		return "complete"
+	}
+	return fmt.Sprintf("reason(%d)", uint16(r))
+}
+
+// Retryable reports whether a receiver should back off and re-hello
+// after this reason, rather than give up (bad config) or finish
+// (complete).
+func (r Reason) Retryable() bool {
+	switch r {
+	case ReasonServerFull, ReasonDraining, ReasonIdle, ReasonStuck:
+		return true
+	}
+	return false
+}
+
+// ControlHeader builds a Reject or Close header for flow. The reason
+// rides in Index and the retry-after hint in Frame as milliseconds
+// (saturated at ~49 days); both fields are meaningless for non-data
+// datagrams otherwise. Color must be ACK like every reverse/control
+// datagram, so validate() needs no new case shape.
+func ControlHeader(t Type, flow uint32, reason Reason, retryAfter time.Duration, timestamp int64) Header {
+	return Header{
+		Type:      t,
+		Color:     packet.ACK,
+		Flow:      flow,
+		Frame:     retryAfterMillis(retryAfter),
+		Index:     uint16(reason),
+		Timestamp: timestamp,
+	}
+}
+
+// Reason returns the reason code of a Reject or Close header, and
+// ReasonNone for any other type.
+func (h Header) Reason() Reason {
+	if h.Type != TypeReject && h.Type != TypeClose {
+		return ReasonNone
+	}
+	return Reason(h.Index)
+}
+
+// RetryAfter returns the retry-after hint of a Reject or Close header,
+// zero for any other type.
+func (h Header) RetryAfter() time.Duration {
+	if h.Type != TypeReject && h.Type != TypeClose {
+		return 0
+	}
+	return time.Duration(h.Frame) * time.Millisecond
+}
+
+// retryAfterMillis converts a duration to the on-wire millisecond hint,
+// clamping negatives to zero and saturating at MaxUint32.
+func retryAfterMillis(d time.Duration) uint32 {
+	if d <= 0 {
+		return 0
+	}
+	ms := d.Milliseconds()
+	if ms > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(ms)
+}

@@ -1,0 +1,98 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// TestControlRoundTrip encodes Reject and Close datagrams and checks the
+// reason and retry-after hints survive the 60-byte codec unchanged.
+func TestControlRoundTrip(t *testing.T) {
+	cases := []struct {
+		typ    Type
+		reason Reason
+		retry  time.Duration
+	}{
+		{TypeReject, ReasonServerFull, 500 * time.Millisecond},
+		{TypeReject, ReasonDraining, 0},
+		{TypeReject, ReasonBadConfig, 2 * time.Second},
+		{TypeClose, ReasonIdle, 0},
+		{TypeClose, ReasonStuck, 250 * time.Millisecond},
+		{TypeClose, ReasonComplete, 0},
+	}
+	for _, tc := range cases {
+		h := ControlHeader(tc.typ, 42, tc.reason, tc.retry, 12345)
+		b, err := EncodeDatagram(h, nil)
+		if err != nil {
+			t.Fatalf("%v/%v: encode: %v", tc.typ, tc.reason, err)
+		}
+		if len(b) != HeaderSize {
+			t.Errorf("%v/%v: control datagram is %d bytes, want %d", tc.typ, tc.reason, len(b), HeaderSize)
+		}
+		got, payload, err := DecodeDatagram(b)
+		if err != nil {
+			t.Fatalf("%v/%v: decode: %v", tc.typ, tc.reason, err)
+		}
+		if len(payload) != 0 {
+			t.Errorf("%v/%v: unexpected payload %d bytes", tc.typ, tc.reason, len(payload))
+		}
+		if got.Type != tc.typ || got.Reason() != tc.reason || got.RetryAfter() != tc.retry {
+			t.Errorf("%v/%v/%v round-tripped as %v/%v/%v",
+				tc.typ, tc.reason, tc.retry, got.Type, got.Reason(), got.RetryAfter())
+		}
+		if got.Flow != 42 || got.Timestamp != 12345 {
+			t.Errorf("%v/%v: flow/timestamp %d/%d, want 42/12345", tc.typ, tc.reason, got.Flow, got.Timestamp)
+		}
+	}
+}
+
+// TestControlValidate pins the domain rules: control datagrams must be
+// ACK-colored, and the accessors are inert on non-control types.
+func TestControlValidate(t *testing.T) {
+	h := ControlHeader(TypeReject, 1, ReasonServerFull, time.Second, 0)
+	h.Color = packet.Green
+	if _, err := EncodeDatagram(h, nil); !errors.Is(err, ErrColor) {
+		t.Errorf("green reject encoded: err=%v, want ErrColor", err)
+	}
+	data := Header{Type: TypeData, Color: packet.Green, Frame: 7, Index: 3}
+	if data.Reason() != ReasonNone || data.RetryAfter() != 0 {
+		t.Errorf("data header leaked control accessors: %v / %v", data.Reason(), data.RetryAfter())
+	}
+}
+
+// TestControlRetrySaturates checks the millisecond hint clamps instead
+// of wrapping for absurd durations.
+func TestControlRetrySaturates(t *testing.T) {
+	h := ControlHeader(TypeReject, 1, ReasonServerFull, 200*24*time.Hour, 0)
+	if h.Frame != 0xFFFFFFFF {
+		t.Errorf("retry-after did not saturate: frame=%d", h.Frame)
+	}
+	if ControlHeader(TypeClose, 1, ReasonIdle, -time.Second, 0).Frame != 0 {
+		t.Error("negative retry-after should clamp to zero")
+	}
+}
+
+// TestReasonStrings keeps the counter/log names stable.
+func TestReasonStrings(t *testing.T) {
+	want := map[Reason]string{
+		ReasonNone:       "none",
+		ReasonServerFull: "server-full",
+		ReasonDraining:   "draining",
+		ReasonBadConfig:  "bad-config",
+		ReasonIdle:       "idle",
+		ReasonStuck:      "stuck",
+		ReasonComplete:   "complete",
+		Reason(99):       "reason(99)",
+	}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("Reason(%d).String() = %q, want %q", uint16(r), r.String(), s)
+		}
+	}
+	if !ReasonServerFull.Retryable() || ReasonBadConfig.Retryable() || ReasonComplete.Retryable() {
+		t.Error("Retryable classification wrong")
+	}
+}

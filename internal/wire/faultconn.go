@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// FaultConn wraps a net.PacketConn and runs every inbound datagram
+// through a fault injector before the application sees it. Where
+// LinkConfig.Faults degrades the server's *outbound* data path, FaultConn
+// degrades what *arrives* — which is how admission-path faults (hello
+// storms, duplicated or dropped hellos, lost feedback) are injected
+// without touching the sender.
+//
+// Applied effects: Drop (read again), Corrupt (Scramble in place — the
+// datagram then fails its CRC downstream), Duplicate (the copy is
+// delivered on the next read). ExtraDelay and StripFeedback are ignored:
+// delaying inside ReadFrom would stall unrelated datagrams behind the
+// held one, and stripping a feedback stamp needs a re-encode — use
+// KindStarveFeedback (which drops feedback-class inbound) instead.
+//
+// The injector's timeline starts when the wrapper is built. Writes pass
+// through untouched.
+type FaultConn struct {
+	net.PacketConn
+	inj   *fault.Injector
+	start time.Time
+
+	mu   sync.Mutex
+	pend []pendingDatagram
+}
+
+type pendingDatagram struct {
+	b    []byte
+	addr net.Addr
+}
+
+// maxPendingDups bounds the duplicate stash so a high-probability
+// duplicate event cannot grow memory without bound if the reader stalls.
+const maxPendingDups = 256
+
+// NewFaultConn wraps conn; inj must not be shared with another link (the
+// injector serializes its random stream).
+func NewFaultConn(conn net.PacketConn, inj *fault.Injector) *FaultConn {
+	return &FaultConn{PacketConn: conn, inj: inj, start: time.Now()}
+}
+
+// ReadFrom returns the next surviving inbound datagram, serving stashed
+// duplicates first.
+func (c *FaultConn) ReadFrom(p []byte) (int, net.Addr, error) {
+	c.mu.Lock()
+	if len(c.pend) > 0 {
+		d := c.pend[0]
+		c.pend = c.pend[1:]
+		c.mu.Unlock()
+		n := copy(p, d.b)
+		return n, d.addr, nil
+	}
+	c.mu.Unlock()
+	for {
+		n, addr, err := c.PacketConn.ReadFrom(p)
+		if err != nil {
+			return n, addr, err
+		}
+		d := c.inj.Filter(time.Since(c.start), fault.Packet{Size: n, Class: classify(p[:n])})
+		if d.Drop {
+			continue
+		}
+		if d.Corrupt {
+			fault.Scramble(p[:n], d.Bits)
+		}
+		if d.Duplicate {
+			c.mu.Lock()
+			if len(c.pend) < maxPendingDups {
+				c.pend = append(c.pend, pendingDatagram{b: append([]byte(nil), p[:n]...), addr: addr})
+			}
+			c.mu.Unlock()
+		}
+		return n, addr, nil
+	}
+}

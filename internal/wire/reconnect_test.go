@@ -1,0 +1,259 @@
+package wire
+
+// Receiver subscription state machine tests: hello backoff, Reject and
+// Close handling, and the reconnect reset — all Handle/maybeHello driven
+// on a synthetic clock, no sockets.
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/packet"
+)
+
+// testReceiver builds a hello-enabled receiver on a capture conn and a
+// hand-cranked clock.
+func testReceiver(t *testing.T, mut func(*ReceiverConfig)) (*Receiver, *captureConn, *time.Time) {
+	t.Helper()
+	now := time.Unix(2000, 0)
+	cfg := ReceiverConfig{
+		Peer:          fakeAddr("server"),
+		Flow:          7,
+		Now:           func() time.Time { return now },
+		Hello:         true,
+		HelloRetry:    100 * time.Millisecond,
+		HelloAttempts: 0,
+		Seed:          1,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	conn := &captureConn{}
+	return NewReceiver(conn, cfg), conn, &now
+}
+
+// flowDataDatagram encodes one green data datagram for flow 7.
+func flowDataDatagram(t *testing.T, seq uint64) []byte {
+	t.Helper()
+	b, err := EncodeDatagram(Header{
+		Type: TypeData, Color: packet.Green, Flow: 7, Seq: seq, Frame: 1,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// controlDatagram encodes a Reject or Close for flow 7.
+func controlDatagram(t *testing.T, typ Type, reason Reason, retry time.Duration) []byte {
+	t.Helper()
+	b, err := EncodeDatagram(ControlHeader(typ, 7, reason, retry, 0), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// crank advances the clock in small steps for d, offering maybeHello at
+// each step, and returns the first error.
+func crank(r *Receiver, now *time.Time, d time.Duration) error {
+	step := 10 * time.Millisecond
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		*now = now.Add(step)
+		if err := r.maybeHello(*now); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// TestReceiverHelloBackoff: retries space out exponentially toward
+// HelloMax, and the first data datagram stops the helloing.
+func TestReceiverHelloBackoff(t *testing.T) {
+	r, conn, now := testReceiver(t, nil)
+	if err := crank(r, now, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	sent := r.Stats().HellosSent
+	if sent == 0 {
+		t.Fatal("no hellos sent")
+	}
+	// 2s of 100ms-retry with doubling (cap 800ms): 100+125%jitter →
+	// far fewer than the 20 a fixed interval would give, more than the
+	// 3 a saturated cap would.
+	if sent > 10 || sent < 4 {
+		t.Errorf("%d hellos in 2s, want backoff (4..10)", sent)
+	}
+	if conn.count() != int(sent) {
+		t.Errorf("conn saw %d writes, stats say %d", conn.count(), sent)
+	}
+
+	r.Handle(flowDataDatagram(t, 0), fakeAddr("server"), *now)
+	before := r.Stats().HellosSent
+	if err := crank(r, now, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().HellosSent; got != before {
+		t.Errorf("kept helloing after data: %d -> %d", before, got)
+	}
+}
+
+// TestReceiverHelloTimeout: a bounded attempt budget ends Run with
+// ErrHelloTimeout naming the last reject.
+func TestReceiverHelloTimeout(t *testing.T) {
+	r, _, now := testReceiver(t, func(cfg *ReceiverConfig) {
+		cfg.HelloAttempts = 3
+		cfg.Reconnect = true // a lone Reject must not end the run early
+	})
+	*now = now.Add(time.Millisecond)
+	if err := r.maybeHello(*now); err != nil {
+		t.Fatal(err)
+	}
+	r.Handle(controlDatagram(t, TypeReject, ReasonServerFull, 0), fakeAddr("server"), *now)
+	err := crank(r, now, 10*time.Second)
+	if !errors.Is(err, ErrHelloTimeout) {
+		t.Fatalf("err = %v, want ErrHelloTimeout", err)
+	}
+	if got := r.Stats().HellosSent; got != 3 {
+		t.Errorf("sent %d hellos, budget was 3", got)
+	}
+	// The failure names the refusal the receiver saw.
+	if want := ReasonServerFull.String(); !errors.Is(err, ErrHelloTimeout) ||
+		!containsString(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func containsString(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}
+
+// TestReceiverRejectTerminal: without Reconnect, a retryable Reject ends
+// the run with a RejectError; BadConfig is terminal even with Reconnect.
+func TestReceiverRejectTerminal(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		reconnect bool
+		reason    Reason
+	}{
+		{"no-reconnect", false, ReasonServerFull},
+		{"not-retryable", true, ReasonBadConfig},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, _, now := testReceiver(t, func(cfg *ReceiverConfig) {
+				cfg.Reconnect = tc.reconnect
+			})
+			r.Handle(controlDatagram(t, TypeReject, tc.reason, 250*time.Millisecond), fakeAddr("server"), *now)
+			done, err := r.terminal()
+			if !done {
+				t.Fatal("receiver not finished after terminal reject")
+			}
+			var rej *RejectError
+			if !errors.As(err, &rej) || rej.Reason != tc.reason {
+				t.Fatalf("err = %v, want RejectError{%v}", err, tc.reason)
+			}
+		})
+	}
+}
+
+// TestReceiverRejectRetryAfter: with Reconnect, a retryable Reject is
+// not terminal and the server's retry-after hint floors the next hello.
+func TestReceiverRejectRetryAfter(t *testing.T) {
+	r, _, now := testReceiver(t, func(cfg *ReceiverConfig) {
+		cfg.Reconnect = true
+	})
+	*now = now.Add(time.Millisecond)
+	if err := r.maybeHello(*now); err != nil { // first hello goes out
+		t.Fatal(err)
+	}
+	r.Handle(controlDatagram(t, TypeReject, ReasonServerFull, 600*time.Millisecond), fakeAddr("server"), *now)
+	if done, _ := r.terminal(); done {
+		t.Fatal("retryable reject finished a reconnecting receiver")
+	}
+	if got := r.Stats().Rejects; got != 1 {
+		t.Fatalf("Rejects = %d, want 1", got)
+	}
+	if got := r.Stats().LastRejectRetry; got != 600*time.Millisecond {
+		t.Fatalf("LastRejectRetry = %v, want 600ms", got)
+	}
+	sent := r.Stats().HellosSent
+	// Cranking less than the hint must not hello again (jitter only
+	// stretches the wait); past hint+25% it must.
+	if err := crank(r, now, 500*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().HellosSent; got != sent {
+		t.Errorf("helloed %d times before the retry-after hint elapsed", got-sent)
+	}
+	if err := crank(r, now, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().HellosSent; got == sent {
+		t.Error("never helloed again after the retry-after window")
+	}
+}
+
+// TestReceiverCloseReconnect: a retryable Close folds the stream into
+// the archive, keeps the feedback sequence monotonic (fresh epoch on
+// resume), and re-enters the hello loop; Close(complete) finishes.
+func TestReceiverCloseReconnect(t *testing.T) {
+	r, conn, now := testReceiver(t, func(cfg *ReceiverConfig) {
+		cfg.Reconnect = true
+	})
+	for seq := uint64(0); seq < 5; seq++ {
+		r.Handle(flowDataDatagram(t, seq), fakeAddr("server"), *now)
+	}
+	st := r.Stats()
+	if st.Colors[packet.Green].Received != 5 {
+		t.Fatalf("green received %d, want 5", st.Colors[packet.Green].Received)
+	}
+	fbBefore := r.fbSeq
+
+	r.Handle(controlDatagram(t, TypeClose, ReasonIdle, 0), fakeAddr("server"), *now)
+	if done, _ := r.terminal(); done {
+		t.Fatal("retryable close finished a reconnecting receiver")
+	}
+	st = r.Stats()
+	if st.Closes != 1 || st.Reconnects != 1 || st.LastClose != ReasonIdle {
+		t.Fatalf("closes=%d reconnects=%d last=%v, want 1/1/idle", st.Closes, st.Reconnects, st.LastClose)
+	}
+	// Archived delivery survives the reset.
+	if st.Colors[packet.Green].Received != 5 {
+		t.Errorf("archive lost green counts: %d", st.Colors[packet.Green].Received)
+	}
+
+	// The receiver hellos again, with a sequence above every pre-close
+	// echo so resumed feedback stays fresher than stale duplicates.
+	writes := conn.count()
+	if err := crank(r, now, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if conn.count() == writes {
+		t.Fatal("no hello after reconnectable close")
+	}
+	h, _, err := DecodeDatagram(conn.write(conn.count() - 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Type != TypeHello || h.Seq <= fbBefore {
+		t.Errorf("reconnect hello %+v: want TypeHello with Seq > %d", h, fbBefore)
+	}
+
+	// A resumed stream counts from zero without phantom loss.
+	r.Handle(flowDataDatagram(t, 0), fakeAddr("server"), *now)
+	st = r.Stats()
+	if got := st.Colors[packet.Green]; got.Received != 6 || got.Lost != 0 {
+		t.Errorf("after resume: green %+v, want 6 received, 0 lost", got)
+	}
+
+	r.Handle(controlDatagram(t, TypeClose, ReasonComplete, 0), fakeAddr("server"), *now)
+	if done, err := r.terminal(); !done || err != nil {
+		t.Fatalf("Close(complete): done=%v err=%v, want clean finish", done, err)
+	}
+}

@@ -39,9 +39,35 @@ type SwarmConfig struct {
 	// HelloRetry re-sends a receiver's hello until its first data
 	// datagram arrives. 0 selects 500ms.
 	HelloRetry time.Duration
+	// HelloBackoffMax caps the per-receiver hello backoff: every
+	// unanswered hello (or Reject) doubles the wait from HelloRetry
+	// toward this cap, and a Reject's retry-after hint sets the floor.
+	// 0 selects 8·HelloRetry.
+	HelloBackoffMax time.Duration
+	// Reconnect re-hellos receivers whose session the server closed for
+	// a retryable reason (drain, idle/stuck reap) instead of leaving
+	// them dark; Close(complete) always finishes the receiver.
+	Reconnect bool
+	// Storm, when armed (Fraction > 0), runs the mass-disconnect drill:
+	// that fraction of receivers goes silent At after swarm start —
+	// data dropped, no echoes, no hellos — until Resume has passed,
+	// then resets and re-hellos in one wave.
+	Storm SwarmStorm
 	// Listen opens one swarm socket; nil selects an ephemeral UDP port.
 	// Tests substitute emulator endpoints here.
 	Listen func() (net.PacketConn, error)
+}
+
+// SwarmStorm configures the disconnect-storm drill.
+type SwarmStorm struct {
+	// At is the offset from swarm start when the selected receivers go
+	// dark.
+	At time.Duration
+	// Fraction in (0,1] selects how many receivers participate (the
+	// first ⌈Fraction·Receivers⌉ by flow order — deterministic).
+	Fraction float64
+	// Resume is how long they stay dark; 0 selects 2s.
+	Resume time.Duration
 }
 
 func (c SwarmConfig) withDefaults() SwarmConfig {
@@ -59,6 +85,12 @@ func (c SwarmConfig) withDefaults() SwarmConfig {
 	}
 	if c.HelloRetry <= 0 {
 		c.HelloRetry = 500 * time.Millisecond
+	}
+	if c.HelloBackoffMax <= 0 {
+		c.HelloBackoffMax = 8 * c.HelloRetry
+	}
+	if c.Storm.Fraction > 0 && c.Storm.Resume <= 0 {
+		c.Storm.Resume = 2 * time.Second
 	}
 	if c.Listen == nil {
 		c.Listen = func() (net.PacketConn, error) { return net.ListenPacket("udp", "127.0.0.1:0") }
@@ -85,6 +117,17 @@ type SwarmReceiverStats struct {
 	FeedbackSent    uint64
 	Epochs          uint64
 	LastFeedback    packet.Feedback
+	// Control-plane view: rejections and closes from the server, the
+	// most recent of each, and the reconnect lifecycle — Reconnects
+	// counts stream resets (close- or storm-triggered), Resumes counts
+	// streams that actually delivered data again afterwards.
+	Rejects         uint64
+	Closes          uint64
+	Reconnects      uint64
+	Resumes         uint64
+	LastReject      Reason
+	LastClose       Reason
+	LastRetryAfter  time.Duration
 	FirstAt, LastAt time.Time
 	// SteadyBytes/SteadyAt accumulate since the last MarkSteady call —
 	// the converged-rate measurement window.
@@ -126,13 +169,56 @@ type swarmReceiver struct {
 	sock    int
 	startAt time.Time
 
-	mu        sync.Mutex
-	gotData   bool
-	nextHello time.Time
-	colors    map[packet.Color]*swarmTrack
-	lastFB    packet.Feedback
-	fbSeq     uint64
-	st        SwarmReceiverStats
+	mu         sync.Mutex
+	gotData    bool
+	nextHello  time.Time
+	helloWait  time.Duration // current backoff step, doubles toward HelloBackoffMax
+	jit        uint64        // xorshift state for per-receiver jitter
+	done       bool          // terminal: Close(complete) or non-reconnecting close
+	resuming   bool          // reset happened; next data datagram counts a Resume
+	stormArmed bool          // selected for the storm, not yet fired
+	muted      bool          // mid-storm: drop everything, send nothing
+	resumeAt   time.Time
+	colors     map[packet.Color]*swarmTrack
+	arch       map[packet.Color]ColorCount // counts folded in by resets
+	lastFB     packet.Feedback
+	fbSeq      uint64
+	st         SwarmReceiverStats
+}
+
+// jitter returns a deterministic pseudo-random duration in [0, d/4].
+func (r *swarmReceiver) jitterLocked(d time.Duration) time.Duration {
+	if d <= 0 {
+		return 0
+	}
+	r.jit ^= r.jit << 13
+	r.jit ^= r.jit >> 7
+	r.jit ^= r.jit << 17
+	return time.Duration(r.jit % uint64(d/4+1))
+}
+
+// resetLocked rewinds the receiver to the helloing state for a fresh
+// session: delivered counts fold into the archive (so cumulative loss
+// accounting survives the reconnect), trackers and feedback clear, and
+// the backoff restarts. fbSeq is deliberately kept — feedback echoes on
+// the resumed session must stay fresher than pre-close ones.
+func (r *swarmReceiver) resetLocked(helloRetry time.Duration) {
+	if r.arch == nil && len(r.colors) > 0 {
+		r.arch = make(map[packet.Color]ColorCount, len(r.colors))
+	}
+	for c, t := range r.colors {
+		a := r.arch[c]
+		a.Received += t.count.Received
+		a.Lost += t.count.Lost
+		a.Bytes += t.count.Bytes
+		r.arch[c] = a
+	}
+	r.colors = map[packet.Color]*swarmTrack{}
+	r.lastFB = packet.Feedback{}
+	r.gotData = false
+	r.helloWait = helloRetry
+	r.resuming = true
+	r.st.Reconnects++
 }
 
 // Swarm drives Receivers synthetic PELS receivers against one server.
@@ -143,6 +229,10 @@ type Swarm struct {
 	recvs []*swarmReceiver
 	// byFlow is immutable after New — read loops access it lock-free.
 	byFlow map[uint32]*swarmReceiver
+
+	// stormAt is the absolute fire time of the disconnect storm; zero
+	// when the drill is unarmed.
+	stormAt time.Time
 
 	wmu     []sync.Mutex // per-socket write serialization
 	encBufs [][]byte
@@ -172,6 +262,17 @@ func NewSwarm(cfg SwarmConfig, now time.Time) (*Swarm, error) {
 		}
 		s.socks = append(s.socks, conn)
 	}
+	stormCount := 0
+	if cfg.Storm.Fraction > 0 {
+		s.stormAt = now.Add(cfg.Storm.At)
+		stormCount = int(cfg.Storm.Fraction * float64(cfg.Receivers))
+		if float64(stormCount) < cfg.Storm.Fraction*float64(cfg.Receivers) {
+			stormCount++
+		}
+		if stormCount > cfg.Receivers {
+			stormCount = cfg.Receivers
+		}
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	for i := 0; i < cfg.Receivers; i++ {
 		start := now
@@ -179,10 +280,13 @@ func NewSwarm(cfg SwarmConfig, now time.Time) (*Swarm, error) {
 			start = now.Add(time.Duration(rng.Int63n(int64(cfg.Ramp))))
 		}
 		r := &swarmReceiver{
-			flow:    cfg.FirstFlow + uint32(i),
-			sock:    i % cfg.Sockets,
-			startAt: start,
-			colors:  map[packet.Color]*swarmTrack{},
+			flow:       cfg.FirstFlow + uint32(i),
+			sock:       i % cfg.Sockets,
+			startAt:    start,
+			colors:     map[packet.Color]*swarmTrack{},
+			helloWait:  cfg.HelloRetry,
+			jit:        uint64(cfg.Seed)*0x9E3779B97F4A7C15 + uint64(cfg.FirstFlow+uint32(i))*0xBF58476D1CE4E5B9 | 1,
+			stormArmed: i < stormCount,
 		}
 		r.nextHello = start
 		r.st.Flow = r.flow
@@ -230,10 +334,11 @@ func (s *Swarm) Run(ctx context.Context) error {
 	}
 }
 
-// helloLoop scans the receiver set on a coarse tick, sending (and
-// retrying) hellos for receivers whose arrival time has come and whose
-// stream has not started. A linear scan every 25ms is microseconds even
-// at ten thousand receivers.
+// helloLoop scans the receiver set on a coarse tick, driving the storm
+// mute/resume transitions and sending (retrying with jittered
+// exponential backoff) hellos for receivers whose arrival time has come
+// and whose stream has not started. A linear scan every 25ms is
+// microseconds even at ten thousand receivers.
 func (s *Swarm) helloLoop(ctx context.Context) {
 	tick := time.NewTicker(25 * time.Millisecond)
 	defer tick.Stop()
@@ -244,9 +349,26 @@ func (s *Swarm) helloLoop(ctx context.Context) {
 		case now := <-tick.C:
 			for _, r := range s.recvs {
 				r.mu.Lock()
-				due := !r.gotData && !now.Before(r.nextHello)
+				if r.stormArmed && !now.Before(s.stormAt) {
+					r.stormArmed = false
+					r.muted = true
+					r.resumeAt = now.Add(s.cfg.Storm.Resume)
+				}
+				if r.muted && !now.Before(r.resumeAt) {
+					// The dark window ended: come back as a fresh
+					// session and re-hello immediately — the whole
+					// cohort resumes in one wave on purpose.
+					r.muted = false
+					r.resetLocked(s.cfg.HelloRetry)
+					r.nextHello = now
+				}
+				due := !r.done && !r.muted && !r.gotData && !now.Before(r.nextHello)
 				if due {
-					r.nextHello = now.Add(s.cfg.HelloRetry)
+					r.nextHello = now.Add(r.helloWait + r.jitterLocked(r.helloWait))
+					r.helloWait *= 2
+					if r.helloWait > s.cfg.HelloBackoffMax {
+						r.helloWait = s.cfg.HelloBackoffMax
+					}
 					r.st.HellosSent++
 				}
 				r.mu.Unlock()
@@ -308,17 +430,39 @@ func (s *Swarm) readLoop(ctx context.Context, idx int) error {
 // handle applies one datagram received on socket idx.
 func (s *Swarm) handle(idx int, b []byte, now time.Time) {
 	h, _, err := DecodeDatagram(b)
-	if err != nil || h.Type != TypeData {
+	if err != nil {
 		return
 	}
 	r := s.byFlow[h.Flow]
 	if r == nil {
 		return
 	}
+	switch h.Type {
+	case TypeData:
+	case TypeReject:
+		r.onReject(h, now)
+		return
+	case TypeClose:
+		r.onClose(h, now, s.cfg.Reconnect, s.cfg.HelloRetry)
+		return
+	default:
+		return
+	}
 
 	r.mu.Lock()
+	if r.muted || r.done {
+		// Mid-storm (or finished) receivers are dead hosts: data is
+		// dropped without echoing feedback, so the server's idle reaper
+		// sees true silence.
+		r.mu.Unlock()
+		return
+	}
 	if r.sock != idx {
 		r.st.CrossDeliveries++
+	}
+	if r.resuming {
+		r.resuming = false
+		r.st.Resumes++
 	}
 	r.gotData = true
 	if r.st.Datagrams == 0 {
@@ -370,6 +514,45 @@ func (s *Swarm) handle(idx int, b []byte, now time.Time) {
 	}
 }
 
+// onReject records an admission rejection and pushes the next hello out
+// to at least the server's retry-after hint (plus jitter), on top of
+// whatever backoff the hello loop already applied.
+func (r *swarmReceiver) onReject(h Header, now time.Time) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.muted || r.done {
+		return
+	}
+	r.st.Rejects++
+	r.st.LastReject = h.Reason()
+	r.st.LastRetryAfter = h.RetryAfter()
+	if ra := h.RetryAfter(); ra > 0 && !r.gotData {
+		if at := now.Add(ra + r.jitterLocked(ra)); at.After(r.nextHello) {
+			r.nextHello = at
+		}
+	}
+}
+
+// onClose ends or recycles the session. Close(complete) — and any close
+// when reconnection is off — finishes the receiver for good; a
+// retryable close folds the stream into the archive and re-enters the
+// hello loop as a fresh session.
+func (r *swarmReceiver) onClose(h Header, now time.Time, reconnect bool, helloRetry time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.muted || r.done {
+		return
+	}
+	r.st.Closes++
+	r.st.LastClose = h.Reason()
+	if h.Reason() == ReasonComplete || !reconnect {
+		r.done = true
+		return
+	}
+	r.resetLocked(helloRetry)
+	r.nextHello = now.Add(r.helloWait + r.jitterLocked(r.helloWait))
+}
+
 // MarkSteady resets every receiver's steady-state window to now; call it
 // once the ramp has settled so SteadyRate measures converged throughput.
 func (s *Swarm) MarkSteady(now time.Time) {
@@ -388,9 +571,16 @@ func (s *Swarm) Stats() []SwarmReceiverStats {
 		r.mu.Lock()
 		st := r.st
 		st.LastFeedback = r.lastFB
-		st.Colors = make(map[packet.Color]ColorCount, len(r.colors))
+		st.Colors = make(map[packet.Color]ColorCount, len(r.colors)+len(r.arch))
+		for c, a := range r.arch {
+			st.Colors[c] = a
+		}
 		for c, t := range r.colors {
-			st.Colors[c] = t.count
+			cc := st.Colors[c]
+			cc.Received += t.count.Received
+			cc.Lost += t.count.Lost
+			cc.Bytes += t.count.Bytes
+			st.Colors[c] = cc
 		}
 		r.mu.Unlock()
 		out = append(out, st)
